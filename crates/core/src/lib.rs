@@ -1,0 +1,80 @@
+//! MacroBase-RS core: data types, the operator trait system, and the default
+//! analysis pipeline (MDP) in one-shot, streaming, hybrid, and partitioned
+//! forms.
+//!
+//! This crate assembles the substrates (`mb-stats`, `mb-sketch`,
+//! `mb-fpgrowth`, `mb-classify`, `mb-explain`, `mb-transform`) into the
+//! system described in Sections 3–5 of *MacroBase: Prioritizing Attention in
+//! Fast Data*:
+//!
+//! * [`types`] — [`Point`](types::Point), labels, and rendered explanation
+//!   reports.
+//! * [`operator`] — the typed operator interfaces of Table 1 (Transformer,
+//!   Classifier, Explainer) and adapters for closures.
+//! * [`oneshot`] — one-shot MDP execution over a batch of points.
+//! * [`streaming`] — exponentially weighted streaming (EWS) MDP execution.
+//! * [`pipeline`] — a builder for custom pipelines: domain-specific
+//!   transformers up front, an unsupervised and/or rule-based classifier,
+//!   and the risk-ratio explainer (used by the Section 6.4 case studies).
+//! * [`parallel`] — the naïve shared-nothing partitioned executor of
+//!   Figure 11.
+//! * [`presentation`] — ranking and text rendering of explanation reports.
+
+#![warn(missing_docs)]
+
+pub mod operator;
+pub mod oneshot;
+pub mod parallel;
+pub mod pipeline;
+pub mod presentation;
+pub mod streaming;
+pub mod types;
+
+pub use mb_classify::Label;
+pub use oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
+pub use pipeline::{Pipeline, PipelineBuilder};
+pub use streaming::{MdpStreaming, StreamingMdpConfig};
+pub use types::{MdpReport, Point, RenderedExplanation};
+
+/// Errors surfaced by pipeline execution.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The input stream/batch was empty.
+    EmptyInput,
+    /// Points did not have a consistent metric dimensionality.
+    InconsistentDimensions {
+        /// Dimensionality of the first point.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        actual: usize,
+    },
+    /// A statistical component failed.
+    Stats(mb_stats::StatsError),
+    /// Pipeline was misconfigured.
+    InvalidConfiguration(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::EmptyInput => write!(f, "input contains no points"),
+            PipelineError::InconsistentDimensions { expected, actual } => write!(
+                f,
+                "inconsistent metric dimensions: expected {expected}, got {actual}"
+            ),
+            PipelineError::Stats(e) => write!(f, "statistics error: {e}"),
+            PipelineError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<mb_stats::StatsError> for PipelineError {
+    fn from(e: mb_stats::StatsError) -> Self {
+        PipelineError::Stats(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PipelineError>;

@@ -1,0 +1,204 @@
+//! The typed operator interfaces of Table 1.
+//!
+//! MacroBase enforces pipeline structure through the type system: every
+//! pipeline is `Ingestor → Transformer* → Classifier → Explainer`. In Rust
+//! the stages are traits over batches of [`Point`]s; the compiler rejects a
+//! pipeline that, say, feeds unlabeled points into an explainer, exactly as
+//! the paper's Java prototype does with its generics. Closure adapters are
+//! provided so quick domain-specific transforms don't require a new type.
+
+use crate::types::{LabeledPoint, Point};
+use mb_classify::Label;
+
+/// An ingestor produces the initial stream of points from an external source
+/// (`external data source(s) → stream<Point>`).
+pub trait Ingestor {
+    /// Produce the next batch of points; `None` when the source is exhausted.
+    fn next_batch(&mut self) -> Option<Vec<Point>>;
+}
+
+/// A transformer rewrites points without changing the stream type
+/// (`stream<Point> → stream<Point>`), e.g. normalization, STFT features,
+/// optical-flow extraction.
+pub trait Transformer {
+    /// Transform a batch of points.
+    fn transform(&mut self, points: Vec<Point>) -> Vec<Point>;
+}
+
+/// A classifier labels points (`stream<Point> → stream<(label, Point)>`).
+pub trait Classifier {
+    /// Classify a batch of points, returning them with scores and labels.
+    fn classify(&mut self, points: Vec<Point>) -> crate::Result<Vec<LabeledPoint>>;
+}
+
+/// An explainer aggregates labeled points into explanations
+/// (`stream<(label, Point)> → stream<Explanation>`).
+pub trait Explainer {
+    /// Consume a batch of labeled points.
+    fn consume(&mut self, points: &[LabeledPoint]);
+    /// Produce the current explanations on demand.
+    fn explanations(&mut self) -> Vec<crate::types::RenderedExplanation>;
+}
+
+/// An ingestor over an in-memory vector of points (batch execution is
+/// "streaming over stored data", Section 3.2).
+#[derive(Debug, Clone)]
+pub struct VecIngestor {
+    points: Vec<Point>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl VecIngestor {
+    /// Create an ingestor that yields `points` in batches of `batch_size`.
+    pub fn new(points: Vec<Point>, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        VecIngestor {
+            points,
+            batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+impl Ingestor for VecIngestor {
+    fn next_batch(&mut self) -> Option<Vec<Point>> {
+        if self.cursor >= self.points.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.points.len());
+        let batch = self.points[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+/// Adapter turning a closure over a single point into a [`Transformer`].
+pub struct MapTransformer<F: FnMut(Point) -> Point> {
+    f: F,
+}
+
+impl<F: FnMut(Point) -> Point> MapTransformer<F> {
+    /// Wrap a per-point closure.
+    pub fn new(f: F) -> Self {
+        MapTransformer { f }
+    }
+}
+
+impl<F: FnMut(Point) -> Point> Transformer for MapTransformer<F> {
+    fn transform(&mut self, points: Vec<Point>) -> Vec<Point> {
+        points.into_iter().map(&mut self.f).collect()
+    }
+}
+
+/// Adapter turning a batch-level closure into a [`Transformer`] (for
+/// transforms that need to see the whole batch, e.g. windowed aggregation).
+pub struct BatchTransformer<F: FnMut(Vec<Point>) -> Vec<Point>> {
+    f: F,
+}
+
+impl<F: FnMut(Vec<Point>) -> Vec<Point>> BatchTransformer<F> {
+    /// Wrap a per-batch closure.
+    pub fn new(f: F) -> Self {
+        BatchTransformer { f }
+    }
+}
+
+impl<F: FnMut(Vec<Point>) -> Vec<Point>> Transformer for BatchTransformer<F> {
+    fn transform(&mut self, points: Vec<Point>) -> Vec<Point> {
+        (self.f)(points)
+    }
+}
+
+/// A rule-based [`Classifier`] built from `mb_classify`'s supervised rules.
+pub struct RuleBasedClassifier {
+    rule: mb_classify::rule::RuleClassifier,
+}
+
+impl RuleBasedClassifier {
+    /// Wrap a rule.
+    pub fn new(rule: mb_classify::rule::RuleClassifier) -> Self {
+        RuleBasedClassifier { rule }
+    }
+}
+
+impl Classifier for RuleBasedClassifier {
+    fn classify(&mut self, points: Vec<Point>) -> crate::Result<Vec<LabeledPoint>> {
+        Ok(points
+            .into_iter()
+            .map(|point| {
+                let label = self.rule.classify(&point.metrics);
+                LabeledPoint {
+                    score: if label == Label::Outlier { 1.0 } else { 0.0 },
+                    label,
+                    point,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_classify::rule::{Comparison, RuleClassifier};
+
+    #[test]
+    fn vec_ingestor_batches_everything_once() {
+        let points: Vec<Point> = (0..10).map(|i| Point::simple(i as f64, "a")).collect();
+        let mut ingestor = VecIngestor::new(points, 3);
+        let mut total = 0;
+        let mut batches = 0;
+        while let Some(batch) = ingestor.next_batch() {
+            total += batch.len();
+            batches += 1;
+        }
+        assert_eq!(total, 10);
+        assert_eq!(batches, 4);
+        assert!(ingestor.next_batch().is_none());
+    }
+
+    #[test]
+    fn map_transformer_applies_per_point() {
+        let mut t = MapTransformer::new(|mut p: Point| {
+            p.metrics[0] *= 2.0;
+            p
+        });
+        let out = t.transform(vec![Point::simple(2.0, "x"), Point::simple(3.0, "y")]);
+        assert_eq!(out[0].metrics[0], 4.0);
+        assert_eq!(out[1].metrics[0], 6.0);
+    }
+
+    #[test]
+    fn batch_transformer_can_change_cardinality() {
+        // A windowing transform that averages pairs of points.
+        let mut t = BatchTransformer::new(|points: Vec<Point>| {
+            points
+                .chunks(2)
+                .map(|chunk| {
+                    let mean =
+                        chunk.iter().map(|p| p.metrics[0]).sum::<f64>() / chunk.len() as f64;
+                    Point::simple(mean, chunk[0].attributes[0].clone())
+                })
+                .collect()
+        });
+        let input: Vec<Point> = (0..6).map(|i| Point::simple(i as f64, "w")).collect();
+        let out = t.transform(input);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].metrics[0], 0.5);
+    }
+
+    #[test]
+    fn rule_classifier_labels_by_predicate() {
+        let mut c = RuleBasedClassifier::new(RuleClassifier::single(
+            0,
+            Comparison::GreaterThan,
+            100.0,
+        ));
+        let out = c
+            .classify(vec![Point::simple(150.0, "a"), Point::simple(50.0, "b")])
+            .unwrap();
+        assert_eq!(out[0].label, Label::Outlier);
+        assert_eq!(out[1].label, Label::Inlier);
+    }
+}

@@ -1,0 +1,172 @@
+//! Naïve shared-nothing partitioned execution (Appendix D, Figure 11).
+//!
+//! The paper's preliminary scale-out strategy partitions the input across
+//! cores, runs an independent MDP query per partition, and returns the union
+//! of the per-partition explanations. Throughput scales linearly, but
+//! accuracy degrades because each partition trains on a sample of the data
+//! and explanations are not coordinated across partitions — the benchmark
+//! harness reproduces both halves of that trade-off.
+
+use crate::oneshot::{MdpConfig, MdpOneShot};
+use crate::types::{MdpReport, Point, RenderedExplanation};
+use crate::Result;
+
+/// The result of a partitioned run: per-partition reports plus the unioned
+/// explanation set.
+#[derive(Debug)]
+pub struct PartitionedReport {
+    /// One report per partition, in partition order.
+    pub partition_reports: Vec<MdpReport>,
+    /// Union of all partitions' explanations (deduplicated by attribute
+    /// combination, keeping the highest-risk-ratio instance).
+    pub merged_explanations: Vec<RenderedExplanation>,
+    /// Total points processed across partitions.
+    pub num_points: usize,
+}
+
+/// Execute `config` over `points` split into `num_partitions` shared-nothing
+/// partitions, each processed on its own thread.
+pub fn run_partitioned(
+    points: &[Point],
+    num_partitions: usize,
+    config: &MdpConfig,
+) -> Result<PartitionedReport> {
+    assert!(num_partitions > 0, "need at least one partition");
+    if points.is_empty() {
+        return Err(crate::PipelineError::EmptyInput);
+    }
+    let chunk_size = points.len().div_ceil(num_partitions);
+    let chunks: Vec<&[Point]> = points.chunks(chunk_size).collect();
+
+    // Run each partition on its own scoped thread (shared-nothing: each gets
+    // its own MdpOneShot and sees only its chunk).
+    let results: Vec<Result<MdpReport>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let config = config.clone();
+                scope.spawn(move |_| MdpOneShot::new(config).run(chunk))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition thread panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    let mut partition_reports = Vec::with_capacity(results.len());
+    for r in results {
+        partition_reports.push(r?);
+    }
+
+    // Union explanations across partitions, deduplicating by the rendered
+    // attribute combination and keeping the highest risk ratio observed.
+    let mut merged: Vec<RenderedExplanation> = Vec::new();
+    for report in &partition_reports {
+        for e in &report.explanations {
+            match merged.iter_mut().find(|m| m.attributes == e.attributes) {
+                Some(existing) => {
+                    if e.stats.risk_ratio > existing.stats.risk_ratio {
+                        existing.stats = e.stats.clone();
+                    }
+                }
+                None => merged.push(e.clone()),
+            }
+        }
+    }
+    merged.sort_by(|a, b| {
+        b.stats
+            .risk_ratio
+            .partial_cmp(&a.stats.risk_ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    Ok(PartitionedReport {
+        num_points: points.len(),
+        partition_reports,
+        merged_explanations: merged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_explain::ExplanationConfig;
+
+    fn workload(n: usize) -> Vec<Point> {
+        let mut points: Vec<Point> = (0..n)
+            .map(|i| {
+                Point::new(
+                    vec![10.0 + (i % 9) as f64 * 0.2],
+                    vec![format!("device_{}", i % 60)],
+                )
+            })
+            .collect();
+        for i in 0..(n / 100) {
+            points[i * 100] = Point::new(vec![400.0], vec!["device_bad".to_string()]);
+        }
+        points
+    }
+
+    fn config() -> MdpConfig {
+        MdpConfig {
+            explanation: ExplanationConfig::new(0.01, 3.0),
+            attribute_names: vec!["device_id".to_string()],
+            ..MdpConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_partition_matches_one_shot() {
+        let points = workload(10_000);
+        let partitioned = run_partitioned(&points, 1, &config()).unwrap();
+        let direct = MdpOneShot::new(config()).run(&points).unwrap();
+        assert_eq!(partitioned.partition_reports.len(), 1);
+        assert_eq!(
+            partitioned.partition_reports[0].num_outliers,
+            direct.num_outliers
+        );
+        assert_eq!(
+            partitioned.merged_explanations.len(),
+            direct.explanations.len()
+        );
+    }
+
+    #[test]
+    fn multiple_partitions_still_find_the_planted_device() {
+        let points = workload(20_000);
+        for num_partitions in [2, 4, 8] {
+            let result = run_partitioned(&points, num_partitions, &config()).unwrap();
+            assert_eq!(result.partition_reports.len(), num_partitions);
+            assert!(
+                result
+                    .merged_explanations
+                    .iter()
+                    .any(|e| e.attributes.iter().any(|a| a.contains("device_bad"))),
+                "device_bad missing with {num_partitions} partitions"
+            );
+            assert_eq!(result.num_points, 20_000);
+        }
+    }
+
+    #[test]
+    fn merged_explanations_are_deduplicated() {
+        let points = workload(20_000);
+        let result = run_partitioned(&points, 4, &config()).unwrap();
+        let mut combos: Vec<&Vec<String>> = result
+            .merged_explanations
+            .iter()
+            .map(|e| &e.attributes)
+            .collect();
+        let before = combos.len();
+        combos.sort();
+        combos.dedup();
+        assert_eq!(before, combos.len());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(run_partitioned(&[], 4, &config()).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! Custom pipeline construction (Section 3.2's extensibility story and the
+//! Section 6.4 case studies).
+//!
+//! A [`Pipeline`] is: zero or more domain-specific [`Transformer`]s, an
+//! unsupervised MDP classifier and/or a supervised rule classifier (combined
+//! with logical OR, as in the hybrid supervision case study), followed by the
+//! outlier-aware risk-ratio explainer. The builder enforces the Table 1
+//! stage order at compile time simply by only exposing the legal next steps.
+
+use crate::oneshot::{EstimatorKind, MdpConfig};
+use crate::operator::Transformer;
+use crate::types::{LabeledPoint, MdpReport, Point, RenderedExplanation};
+use crate::{PipelineError, Result};
+use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
+use mb_classify::rule::{label_or, RuleClassifier};
+use mb_classify::Label;
+use mb_explain::batch::BatchExplainer;
+use mb_explain::encoder::AttributeEncoder;
+use mb_explain::risk_ratio::rank_explanations;
+use mb_stats::mad::MadEstimator;
+use mb_stats::mcd::McdEstimator;
+use mb_stats::zscore::ZScoreEstimator;
+
+/// Builder for [`Pipeline`].
+#[derive(Default)]
+pub struct PipelineBuilder {
+    transformers: Vec<Box<dyn Transformer>>,
+    config: MdpConfig,
+    rule: Option<RuleClassifier>,
+    unsupervised_enabled: bool,
+}
+
+impl PipelineBuilder {
+    /// Start building a pipeline with default MDP parameters and the
+    /// unsupervised classifier enabled.
+    pub fn new() -> Self {
+        PipelineBuilder {
+            transformers: Vec::new(),
+            config: MdpConfig::default(),
+            rule: None,
+            unsupervised_enabled: true,
+        }
+    }
+
+    /// Append a feature transformation stage (applied in insertion order).
+    pub fn transform(mut self, transformer: Box<dyn Transformer>) -> Self {
+        self.transformers.push(transformer);
+        self
+    }
+
+    /// Replace the MDP configuration (percentile, explanation thresholds,
+    /// estimator, attribute names).
+    pub fn mdp_config(mut self, config: MdpConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Add a supervised rule classifier whose outlier labels are OR-ed with
+    /// the unsupervised classifier's (the hybrid supervision pattern).
+    pub fn supervised_rule(mut self, rule: RuleClassifier) -> Self {
+        self.rule = Some(rule);
+        self
+    }
+
+    /// Disable the unsupervised classifier entirely (rule-only pipelines).
+    pub fn without_unsupervised(mut self) -> Self {
+        self.unsupervised_enabled = false;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<Pipeline> {
+        if !self.unsupervised_enabled && self.rule.is_none() {
+            return Err(PipelineError::InvalidConfiguration(
+                "pipeline needs at least one classifier (unsupervised or rule)".to_string(),
+            ));
+        }
+        Ok(Pipeline {
+            transformers: self.transformers,
+            config: self.config,
+            rule: self.rule,
+            unsupervised_enabled: self.unsupervised_enabled,
+        })
+    }
+}
+
+/// A configured pipeline ready to execute over batches of points.
+pub struct Pipeline {
+    transformers: Vec<Box<dyn Transformer>>,
+    config: MdpConfig,
+    rule: Option<RuleClassifier>,
+    unsupervised_enabled: bool,
+}
+
+impl Pipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::new()
+    }
+
+    fn unsupervised_classify(
+        &self,
+        metrics: &[Vec<f64>],
+    ) -> Result<Vec<mb_classify::Classification>> {
+        let dim = metrics.first().map(|m| m.len()).unwrap_or(0);
+        let batch_config = BatchClassifierConfig {
+            target_percentile: self.config.target_percentile,
+            training_sample_size: self.config.training_sample_size,
+        };
+        let classifications = match self.config.estimator {
+            EstimatorKind::Mad => {
+                BatchClassifier::new(MadEstimator::new(), batch_config).classify_batch(metrics)?
+            }
+            EstimatorKind::ZScore => BatchClassifier::new(ZScoreEstimator::new(), batch_config)
+                .classify_batch(metrics)?,
+            EstimatorKind::Mcd => BatchClassifier::new(McdEstimator::with_defaults(), batch_config)
+                .classify_batch(metrics)?,
+            EstimatorKind::Auto => {
+                if dim == 1 {
+                    BatchClassifier::new(MadEstimator::new(), batch_config)
+                        .classify_batch(metrics)?
+                } else {
+                    BatchClassifier::new(McdEstimator::with_defaults(), batch_config)
+                        .classify_batch(metrics)?
+                }
+            }
+        };
+        Ok(classifications)
+    }
+
+    /// Execute the pipeline over a batch of points, returning the labeled
+    /// points and the ranked explanation report.
+    pub fn run(&mut self, points: Vec<Point>) -> Result<(Vec<LabeledPoint>, MdpReport)> {
+        // Stage 2: feature transformation.
+        let mut transformed = points;
+        for t in self.transformers.iter_mut() {
+            transformed = t.transform(transformed);
+        }
+        if transformed.is_empty() {
+            return Err(PipelineError::EmptyInput);
+        }
+        let dim = transformed[0].dimension();
+        for p in &transformed {
+            if p.dimension() != dim {
+                return Err(PipelineError::InconsistentDimensions {
+                    expected: dim,
+                    actual: p.dimension(),
+                });
+            }
+        }
+
+        // Stage 3: classification (unsupervised, rule-based, or both OR-ed).
+        let metrics: Vec<Vec<f64>> = transformed.iter().map(|p| p.metrics.clone()).collect();
+        let unsupervised = if self.unsupervised_enabled {
+            Some(self.unsupervised_classify(&metrics)?)
+        } else {
+            None
+        };
+        let labeled: Vec<LabeledPoint> = transformed
+            .into_iter()
+            .enumerate()
+            .map(|(idx, point)| {
+                let (mut label, score) = match &unsupervised {
+                    Some(c) => (c[idx].label, c[idx].score),
+                    None => (Label::Inlier, 0.0),
+                };
+                if let Some(rule) = &self.rule {
+                    label = label_or(label, rule.classify(&point.metrics));
+                }
+                LabeledPoint {
+                    point,
+                    score,
+                    label,
+                }
+            })
+            .collect();
+
+        // Stage 4: explanation.
+        let num_outliers = labeled.iter().filter(|p| p.label.is_outlier()).count();
+        let explanations = if self.config.skip_explanation {
+            Vec::new()
+        } else {
+            let mut encoder = if self.config.attribute_names.is_empty() {
+                AttributeEncoder::new()
+            } else {
+                AttributeEncoder::with_column_names(self.config.attribute_names.clone())
+            };
+            let mut outlier_txns = Vec::new();
+            let mut inlier_txns = Vec::new();
+            for lp in &labeled {
+                let items = encoder.encode_point(&lp.point.attributes);
+                if lp.label.is_outlier() {
+                    outlier_txns.push(items);
+                } else {
+                    inlier_txns.push(items);
+                }
+            }
+            let explainer = BatchExplainer::new(self.config.explanation);
+            let mut explanations = explainer.explain(&outlier_txns, &inlier_txns);
+            rank_explanations(&mut explanations);
+            explanations
+                .into_iter()
+                .map(|e| RenderedExplanation {
+                    attributes: encoder.describe(&e.items),
+                    items: e.items,
+                    stats: e.stats,
+                })
+                .collect()
+        };
+
+        let report = MdpReport {
+            explanations,
+            num_points: labeled.len(),
+            num_outliers,
+            score_cutoff: None,
+            scores: Vec::new(),
+        };
+        Ok((labeled, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::MapTransformer;
+    use mb_classify::rule::Comparison;
+    use mb_explain::ExplanationConfig;
+
+    fn background_points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    vec![10.0 + (i % 7) as f64 * 0.3],
+                    vec![format!("device_{}", i % 40)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builder_rejects_classifierless_pipeline() {
+        let result = Pipeline::builder().without_unsupervised().build();
+        assert!(matches!(
+            result,
+            Err(PipelineError::InvalidConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn default_pipeline_flags_extremes() {
+        let mut points = background_points(10_000);
+        for i in 0..100 {
+            points[i * 100] = Point::new(vec![500.0], vec!["device_bad".to_string()]);
+        }
+        let mut pipeline = Pipeline::builder()
+            .mdp_config(MdpConfig {
+                explanation: ExplanationConfig::new(0.01, 3.0),
+                attribute_names: vec!["device_id".to_string()],
+                ..MdpConfig::default()
+            })
+            .build()
+            .unwrap();
+        let (labeled, report) = pipeline.run(points).unwrap();
+        assert_eq!(labeled.len(), 10_000);
+        assert!(report
+            .explanations
+            .iter()
+            .any(|e| e.attributes.iter().any(|a| a.contains("device_bad"))));
+    }
+
+    #[test]
+    fn transformer_runs_before_classification() {
+        // A transform that squares the metric turns modest values (30) into
+        // extremes (900) relative to the background (~100): if the transform
+        // runs, device_hot must be explained.
+        let mut points = background_points(5_000);
+        for i in 0..50 {
+            points[i * 100] = Point::new(vec![30.0], vec!["device_hot".to_string()]);
+        }
+        let mut pipeline = Pipeline::builder()
+            .transform(Box::new(MapTransformer::new(|mut p: Point| {
+                p.metrics[0] = p.metrics[0] * p.metrics[0];
+                p
+            })))
+            .mdp_config(MdpConfig {
+                explanation: ExplanationConfig::new(0.01, 3.0),
+                ..MdpConfig::default()
+            })
+            .build()
+            .unwrap();
+        let (_, report) = pipeline.run(points).unwrap();
+        assert!(report
+            .explanations
+            .iter()
+            .any(|e| e.attributes.iter().any(|a| a.contains("device_hot"))));
+    }
+
+    #[test]
+    fn hybrid_supervision_ors_rule_with_unsupervised() {
+        // The rule flags metric > 100 even though such points are too few for
+        // the percentile classifier to catch reliably; the hybrid pipeline
+        // must flag both the statistical extremes and the rule matches.
+        let mut points = background_points(5_000);
+        // 10 rule-only anomalies (value 150, device_rule).
+        for i in 0..10 {
+            points[i * 37] = Point::new(vec![150.0], vec!["device_rule".to_string()]);
+        }
+        let mut pipeline = Pipeline::builder()
+            .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 100.0))
+            .mdp_config(MdpConfig {
+                explanation: ExplanationConfig::new(0.0005, 3.0),
+                ..MdpConfig::default()
+            })
+            .build()
+            .unwrap();
+        let (labeled, report) = pipeline.run(points).unwrap();
+        // Every rule match is an outlier regardless of the percentile cutoff.
+        for lp in &labeled {
+            if lp.point.metrics[0] > 100.0 {
+                assert!(lp.label.is_outlier());
+            }
+        }
+        assert!(report
+            .explanations
+            .iter()
+            .any(|e| e.attributes.iter().any(|a| a.contains("device_rule"))));
+    }
+
+    #[test]
+    fn rule_only_pipeline_works() {
+        let mut points = background_points(1_000);
+        points[0] = Point::new(vec![1_000.0], vec!["device_x".to_string()]);
+        let mut pipeline = Pipeline::builder()
+            .without_unsupervised()
+            .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 500.0))
+            .build()
+            .unwrap();
+        let (labeled, _) = pipeline.run(points).unwrap();
+        assert_eq!(labeled.iter().filter(|p| p.label.is_outlier()).count(), 1);
+    }
+
+    #[test]
+    fn empty_after_transform_is_an_error() {
+        let mut pipeline = Pipeline::builder()
+            .transform(Box::new(crate::operator::BatchTransformer::new(
+                |_points: Vec<Point>| Vec::new(),
+            )))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            pipeline.run(background_points(10)),
+            Err(PipelineError::EmptyInput)
+        ));
+    }
+}

@@ -1,0 +1,351 @@
+//! Exponentially weighted streaming (EWS) MDP execution (Section 3.2's
+//! "streaming queries", assembled from the ADR-trained classifier of
+//! Section 4.2 and the AMC/M-CPS streaming explainer of Section 5.3).
+
+use crate::types::{MdpReport, Point, RenderedExplanation};
+use crate::Result;
+use mb_classify::streaming::{StreamingClassifier, StreamingClassifierConfig};
+use mb_classify::Label;
+use mb_explain::encoder::AttributeEncoder;
+use mb_explain::risk_ratio::rank_explanations;
+use mb_explain::streaming::{StreamingExplainer, StreamingExplainerConfig};
+use mb_explain::ExplanationConfig;
+use mb_stats::mad::MadEstimator;
+use mb_stats::mcd::McdEstimator;
+
+/// Configuration of a streaming MDP query.
+#[derive(Debug, Clone)]
+pub struct StreamingMdpConfig {
+    /// Score percentile above which points are outliers.
+    pub target_percentile: f64,
+    /// Explanation thresholds.
+    pub explanation: ExplanationConfig,
+    /// Reservoir / sketch sizes (paper default 10K).
+    pub reservoir_size: usize,
+    /// Decay rate applied at each period boundary (paper default 0.01).
+    pub decay_rate: f64,
+    /// Number of points between decay period boundaries (paper default 100K).
+    pub decay_period: u64,
+    /// Number of points between model retrainings.
+    pub retrain_period: u64,
+    /// Optional attribute column names for rendering.
+    pub attribute_names: Vec<String>,
+    /// Whether to skip maintaining explanation state (throughput measurements
+    /// without explanation, as in Table 2).
+    pub skip_explanation: bool,
+    /// RNG seed for the reservoirs.
+    pub seed: u64,
+}
+
+impl Default for StreamingMdpConfig {
+    fn default() -> Self {
+        StreamingMdpConfig {
+            target_percentile: 0.99,
+            explanation: ExplanationConfig::default(),
+            reservoir_size: 10_000,
+            decay_rate: 0.01,
+            decay_period: 100_000,
+            retrain_period: 10_000,
+            attribute_names: Vec::new(),
+            skip_explanation: false,
+            seed: 0xE75,
+        }
+    }
+}
+
+/// Dispatch between the univariate (MAD) and multivariate (MCD) streaming
+/// classifiers, chosen from the first observed point's dimensionality.
+enum StreamingModel {
+    Univariate(StreamingClassifier<MadEstimator>),
+    Multivariate(StreamingClassifier<McdEstimator>),
+}
+
+/// The streaming (EWS) MDP pipeline.
+pub struct MdpStreaming {
+    config: StreamingMdpConfig,
+    model: Option<StreamingModel>,
+    explainer: StreamingExplainer,
+    encoder: AttributeEncoder,
+    points_seen: u64,
+    outliers_seen: u64,
+    points_since_decay: u64,
+}
+
+impl MdpStreaming {
+    /// Create a streaming pipeline.
+    pub fn new(config: StreamingMdpConfig) -> Self {
+        let explainer = StreamingExplainer::new(StreamingExplainerConfig {
+            explanation: config.explanation,
+            decay_rate: config.decay_rate,
+            amc_stable_size: config.reservoir_size,
+            amc_maintenance_period: config.reservoir_size as u64,
+        });
+        let encoder = if config.attribute_names.is_empty() {
+            AttributeEncoder::new()
+        } else {
+            AttributeEncoder::with_column_names(config.attribute_names.clone())
+        };
+        MdpStreaming {
+            config,
+            model: None,
+            explainer,
+            encoder,
+            points_seen: 0,
+            outliers_seen: 0,
+            points_since_decay: 0,
+        }
+    }
+
+    /// Create a streaming pipeline with default (paper) parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(StreamingMdpConfig::default())
+    }
+
+    fn classifier_config(&self) -> StreamingClassifierConfig {
+        StreamingClassifierConfig {
+            input_reservoir_size: self.config.reservoir_size,
+            score_reservoir_size: self.config.reservoir_size,
+            decay_rate: self.config.decay_rate,
+            retrain_period: self.config.retrain_period,
+            target_percentile: self.config.target_percentile,
+            threshold_refresh_period: (self.config.retrain_period / 10).max(1),
+            warmup_points: 100,
+            seed: self.config.seed,
+        }
+    }
+
+    /// Observe one point, returning its label.
+    pub fn observe(&mut self, point: &Point) -> Result<Label> {
+        self.points_seen += 1;
+        self.points_since_decay += 1;
+
+        if self.model.is_none() {
+            let config = self.classifier_config();
+            self.model = Some(if point.dimension() == 1 {
+                StreamingModel::Univariate(StreamingClassifier::new(MadEstimator::new(), config)?)
+            } else {
+                StreamingModel::Multivariate(StreamingClassifier::new(
+                    McdEstimator::with_defaults(),
+                    config,
+                )?)
+            });
+        }
+        let classification = match self.model.as_mut().expect("model initialized above") {
+            StreamingModel::Univariate(c) => c.observe(&point.metrics),
+            StreamingModel::Multivariate(c) => c.observe(&point.metrics),
+        };
+        if classification.label == Label::Outlier {
+            self.outliers_seen += 1;
+        }
+
+        if !self.config.skip_explanation {
+            let items = self.encoder.encode_point(&point.attributes);
+            self.explainer
+                .observe(&items, classification.label == Label::Outlier);
+        }
+
+        if self.points_since_decay >= self.config.decay_period {
+            self.points_since_decay = 0;
+            self.on_period_boundary();
+        }
+        Ok(classification.label)
+    }
+
+    /// Force a decay period boundary (also called automatically every
+    /// `decay_period` points).
+    pub fn on_period_boundary(&mut self) {
+        if let Some(model) = self.model.as_mut() {
+            match model {
+                StreamingModel::Univariate(c) => c.on_period_boundary(),
+                StreamingModel::Multivariate(c) => c.on_period_boundary(),
+            }
+        }
+        if !self.config.skip_explanation {
+            self.explainer.on_window_boundary();
+        }
+    }
+
+    /// Total points observed so far.
+    pub fn points_seen(&self) -> u64 {
+        self.points_seen
+    }
+
+    /// Total points labeled outlier so far.
+    pub fn outliers_seen(&self) -> u64 {
+        self.outliers_seen
+    }
+
+    /// Whether the underlying model has completed its warm-up training.
+    pub fn is_trained(&self) -> bool {
+        match &self.model {
+            Some(StreamingModel::Univariate(c)) => c.is_trained(),
+            Some(StreamingModel::Multivariate(c)) => c.is_trained(),
+            None => false,
+        }
+    }
+
+    /// Produce the current explanations on demand (the streaming explainer is
+    /// a continuously maintained view; this renders it).
+    pub fn report(&mut self) -> MdpReport {
+        let explanations = if self.config.skip_explanation {
+            Vec::new()
+        } else {
+            let mut explanations = self.explainer.explain();
+            rank_explanations(&mut explanations);
+            explanations
+                .into_iter()
+                .map(|e| RenderedExplanation {
+                    attributes: self.encoder.describe(&e.items),
+                    items: e.items,
+                    stats: e.stats,
+                })
+                .collect()
+        };
+        let cutoff = match self.model.as_mut() {
+            Some(StreamingModel::Univariate(c)) => c.current_cutoff(),
+            Some(StreamingModel::Multivariate(c)) => c.current_cutoff(),
+            None => None,
+        };
+        MdpReport {
+            explanations,
+            num_points: self.points_seen as usize,
+            num_outliers: self.outliers_seen as usize,
+            score_cutoff: cutoff,
+            scores: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
+
+    fn test_config() -> StreamingMdpConfig {
+        StreamingMdpConfig {
+            explanation: ExplanationConfig::new(0.01, 3.0),
+            reservoir_size: 2_000,
+            decay_rate: 0.05,
+            decay_period: 10_000,
+            retrain_period: 5_000,
+            attribute_names: vec!["device_id".to_string()],
+            ..StreamingMdpConfig::default()
+        }
+    }
+
+    #[test]
+    fn streaming_recovers_misbehaving_devices() {
+        let workload = device_workload(&DeviceWorkloadConfig {
+            num_points: 50_000,
+            num_devices: 200,
+            outlying_device_fraction: 0.01,
+            ..DeviceWorkloadConfig::default()
+        });
+        let mut mdp = MdpStreaming::new(test_config());
+        for r in &workload.records {
+            let point = Point::new(r.record.metrics.clone(), r.record.attributes.clone());
+            mdp.observe(&point).unwrap();
+        }
+        assert!(mdp.is_trained());
+        assert!(mdp.outliers_seen() > 0);
+        let report = mdp.report();
+        let reported: Vec<String> = report
+            .explanations
+            .iter()
+            .flat_map(|e| e.attributes.clone())
+            .collect();
+        for device in &workload.outlying_devices {
+            assert!(
+                reported.iter().any(|r| r.ends_with(device.as_str())),
+                "device {device} missing from {reported:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_before_any_points_is_empty() {
+        let mut mdp = MdpStreaming::with_defaults();
+        let report = mdp.report();
+        assert_eq!(report.num_points, 0);
+        assert!(report.explanations.is_empty());
+        assert!(report.score_cutoff.is_none());
+    }
+
+    #[test]
+    fn skip_explanation_mode_reports_counts_only() {
+        let mut config = test_config();
+        config.skip_explanation = true;
+        let mut mdp = MdpStreaming::new(config);
+        for i in 0..20_000 {
+            let value = if i % 1_000 == 0 { 500.0 } else { 10.0 + (i % 7) as f64 };
+            mdp.observe(&Point::simple(value, format!("d{}", i % 100)))
+                .unwrap();
+        }
+        let report = mdp.report();
+        assert!(report.explanations.is_empty());
+        assert!(report.num_outliers > 0);
+        assert_eq!(report.num_points, 20_000);
+    }
+
+    #[test]
+    fn multivariate_streaming_dispatches_to_mcd() {
+        let mut config = test_config();
+        config.reservoir_size = 500;
+        let mut mdp = MdpStreaming::new(config);
+        for i in 0..5_000 {
+            let point = Point::new(
+                vec![10.0 + (i % 5) as f64 * 0.1, 20.0 + (i % 3) as f64 * 0.1],
+                vec![format!("host_{}", i % 10)],
+            );
+            mdp.observe(&point).unwrap();
+        }
+        assert!(mdp.is_trained());
+        // An extreme multivariate point is flagged.
+        let label = mdp
+            .observe(&Point::new(
+                vec![500.0, 500.0],
+                vec!["host_bad".to_string()],
+            ))
+            .unwrap();
+        assert_eq!(label, Label::Outlier);
+    }
+
+    #[test]
+    fn explanations_favor_recent_behaviour_under_decay() {
+        let mut config = test_config();
+        config.decay_rate = 0.5;
+        config.decay_period = 5_000;
+        let mut mdp = MdpStreaming::new(config);
+        // Phase 1: device_old misbehaves.
+        for i in 0..20_000 {
+            let (value, device) = if i % 100 == 0 {
+                (500.0, "device_old".to_string())
+            } else {
+                (10.0 + (i % 7) as f64 * 0.1, format!("d{}", i % 50))
+            };
+            mdp.observe(&Point::simple(value, device)).unwrap();
+        }
+        // Phase 2: device_new misbehaves instead, for much longer.
+        for i in 0..40_000 {
+            let (value, device) = if i % 100 == 0 {
+                (500.0, "device_new".to_string())
+            } else {
+                (10.0 + (i % 7) as f64 * 0.1, format!("d{}", i % 50))
+            };
+            mdp.observe(&Point::simple(value, device)).unwrap();
+        }
+        let report = mdp.report();
+        let count_for = |needle: &str| {
+            report
+                .explanations
+                .iter()
+                .filter(|e| e.attributes.iter().any(|a| a.contains(needle)))
+                .map(|e| e.stats.outlier_count)
+                .fold(0.0, f64::max)
+        };
+        assert!(
+            count_for("device_new") > count_for("device_old"),
+            "decay should favor the recent offender: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Core data types: points, labeled points, and explanation reports.
+
+use mb_classify::Label;
+use mb_explain::risk_ratio::ExplanationStats;
+use mb_fpgrowth::Item;
+
+/// A MacroBase data point: real-valued metrics plus categorical attributes
+/// (Table 1's `Point := (array<double> metrics, array<varchar> attributes)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Real-valued measurements used for classification.
+    pub metrics: Vec<f64>,
+    /// Categorical metadata used for explanation, one value per attribute
+    /// column.
+    pub attributes: Vec<String>,
+}
+
+impl Point {
+    /// Create a point from metrics and attributes.
+    pub fn new(metrics: Vec<f64>, attributes: Vec<String>) -> Self {
+        Point {
+            metrics,
+            attributes,
+        }
+    }
+
+    /// Create a point with a single metric and a single attribute (the shape
+    /// of the paper's "simple" queries).
+    pub fn simple(metric: f64, attribute: impl Into<String>) -> Self {
+        Point {
+            metrics: vec![metric],
+            attributes: vec![attribute.into()],
+        }
+    }
+
+    /// Metric dimensionality.
+    pub fn dimension(&self) -> usize {
+        self.metrics.len()
+    }
+}
+
+/// A point together with its classification outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPoint {
+    /// The classified point.
+    pub point: Point,
+    /// The outlier score assigned by the classifier.
+    pub score: f64,
+    /// The label implied by the score and threshold.
+    pub label: Label,
+}
+
+/// One explanation rendered for presentation: decoded attribute strings plus
+/// the raw items and statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedExplanation {
+    /// Human-readable `column=value` descriptions of the combination.
+    pub attributes: Vec<String>,
+    /// The raw encoded items (useful for programmatic consumers).
+    pub items: Vec<Item>,
+    /// Support / risk-ratio statistics.
+    pub stats: ExplanationStats,
+}
+
+/// The output of an MDP query: ranked explanations plus summary statistics
+/// about the run (Section 3.2, stage 5).
+#[derive(Debug, Clone)]
+pub struct MdpReport {
+    /// Explanations ranked by risk ratio then support.
+    pub explanations: Vec<RenderedExplanation>,
+    /// Number of points processed.
+    pub num_points: usize,
+    /// Number of points classified as outliers.
+    pub num_outliers: usize,
+    /// The score threshold that separated outliers from inliers (if one was
+    /// computed).
+    pub score_cutoff: Option<f64>,
+    /// Outlier scores of every processed point, in input order, when score
+    /// retention is enabled (used for the Figure 7 CDF; empty otherwise).
+    pub scores: Vec<f64>,
+}
+
+impl MdpReport {
+    /// Fraction of points classified as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.num_points == 0 {
+            0.0
+        } else {
+            self.num_outliers as f64 / self.num_points as f64
+        }
+    }
+
+    /// The attribute strings of the top-`k` explanations (presentation order).
+    pub fn top_attributes(&self, k: usize) -> Vec<Vec<String>> {
+        self.explanations
+            .iter()
+            .take(k)
+            .map(|e| e.attributes.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_constructors() {
+        let p = Point::new(vec![1.0, 2.0], vec!["a".to_string()]);
+        assert_eq!(p.dimension(), 2);
+        let s = Point::simple(3.0, "device_1");
+        assert_eq!(s.dimension(), 1);
+        assert_eq!(s.attributes, vec!["device_1"]);
+    }
+
+    #[test]
+    fn report_outlier_fraction() {
+        let report = MdpReport {
+            explanations: vec![],
+            num_points: 200,
+            num_outliers: 2,
+            score_cutoff: Some(3.0),
+            scores: vec![],
+        };
+        assert!((report.outlier_fraction() - 0.01).abs() < 1e-12);
+        let empty = MdpReport {
+            explanations: vec![],
+            num_points: 0,
+            num_outliers: 0,
+            score_cutoff: None,
+            scores: vec![],
+        };
+        assert_eq!(empty.outlier_fraction(), 0.0);
+    }
+}

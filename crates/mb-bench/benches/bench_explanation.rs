@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for explanation: the cardinality-aware batch
+//! strategy versus two-sided FPGrowth and Apriori (Section 6.3 / Table 5).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mb_explain::baselines::apriori_explain;
+use mb_explain::batch::{naive_fpgrowth_explain, BatchExplainer};
+use mb_explain::ExplanationConfig;
+use mb_fpgrowth::Item;
+use mb_stats::rand_ext::{SplitMix64, Zipf};
+
+fn workload(n_outliers: usize, n_inliers: usize) -> (Vec<Vec<Item>>, Vec<Vec<Item>>) {
+    let mut rng = SplitMix64::new(3);
+    let zipf = Zipf::new(2_000, 1.1);
+    let outliers = (0..n_outliers)
+        .map(|i| {
+            if i % 10 < 7 {
+                vec![1, 2, 4_000 + zipf.sample(&mut rng) as Item]
+            } else {
+                vec![
+                    10 + zipf.sample(&mut rng) as Item % 50,
+                    2_000 + zipf.sample(&mut rng) as Item,
+                    4_000 + zipf.sample(&mut rng) as Item,
+                ]
+            }
+        })
+        .collect();
+    let inliers = (0..n_inliers)
+        .map(|_| {
+            vec![
+                10 + zipf.sample(&mut rng) as Item % 50,
+                2_000 + zipf.sample(&mut rng) as Item,
+                4_000 + zipf.sample(&mut rng) as Item,
+            ]
+        })
+        .collect();
+    (outliers, inliers)
+}
+
+fn explanation_strategies(c: &mut Criterion) {
+    let (outliers, inliers) = workload(1_000, 100_000);
+    let config = ExplanationConfig::new(0.01, 3.0);
+    let mut group = c.benchmark_group("explanation_strategies");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((outliers.len() + inliers.len()) as u64));
+    group.bench_function("macrobase_cardinality_aware", |b| {
+        b.iter(|| BatchExplainer::new(config).explain(&outliers, &inliers).len())
+    });
+    group.bench_function("naive_two_sided_fpgrowth", |b| {
+        b.iter(|| naive_fpgrowth_explain(&outliers, &inliers, &config).len())
+    });
+    group.bench_function("apriori", |b| {
+        b.iter(|| apriori_explain(&outliers, &inliers, &config).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, explanation_strategies);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the robust estimators: FastMCD training
+//! versus metric dimensionality (Figure 10) and MAD training versus sample
+//! size (Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mb_stats::mad::MadEstimator;
+use mb_stats::mcd::McdEstimator;
+use mb_stats::rand_ext::{normal, SplitMix64};
+use mb_stats::Estimator;
+
+fn mcd_train_by_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcd_train_by_dimension");
+    group.sample_size(10);
+    for &dim in &[2usize, 8, 32] {
+        let mut rng = SplitMix64::new(dim as u64);
+        let sample: Vec<Vec<f64>> = (0..2_000)
+            .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &sample, |b, sample| {
+            b.iter(|| {
+                let mut est = McdEstimator::with_defaults();
+                est.train(sample).expect("train failed");
+                est.score(&sample[0]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn mad_train_by_sample_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mad_train_by_sample_size");
+    group.sample_size(10);
+    let mut rng = SplitMix64::new(9);
+    let full: Vec<f64> = (0..100_000).map(|_| normal(&mut rng, 10.0, 10.0)).collect();
+    for &size in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let mut est = MadEstimator::new();
+                est.train_univariate(&full[..size]).expect("train failed");
+                est.score_value(42.0).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mcd_train_by_dimension, mad_train_by_sample_size);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for end-to-end MDP execution: one-shot and streaming
+//! throughput on a simple single-metric query (the Table 2 measurement in
+//! micro-benchmark form).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use macrobase_core::streaming::{MdpStreaming, StreamingMdpConfig};
+use macrobase_core::types::Point;
+use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
+
+fn make_points(n: usize) -> Vec<Point> {
+    let workload = device_workload(&DeviceWorkloadConfig {
+        num_points: n,
+        num_devices: 1_000,
+        outlying_device_fraction: 0.01,
+        ..DeviceWorkloadConfig::default()
+    });
+    workload
+        .records
+        .into_iter()
+        .map(|r| Point::new(r.record.metrics, r.record.attributes))
+        .collect()
+}
+
+fn mdp_end_to_end(c: &mut Criterion) {
+    let points = make_points(100_000);
+    let mut group = c.benchmark_group("mdp_end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("one_shot_with_explanation", |b| {
+        b.iter(|| {
+            MdpOneShot::new(MdpConfig::default())
+                .run(&points)
+                .expect("run failed")
+                .num_outliers
+        })
+    });
+    group.bench_function("one_shot_without_explanation", |b| {
+        b.iter(|| {
+            MdpOneShot::new(MdpConfig {
+                skip_explanation: true,
+                ..MdpConfig::default()
+            })
+            .run(&points)
+            .expect("run failed")
+            .num_outliers
+        })
+    });
+    group.bench_function("streaming_ews", |b| {
+        b.iter(|| {
+            let mut mdp = MdpStreaming::new(StreamingMdpConfig {
+                reservoir_size: 5_000,
+                retrain_period: 20_000,
+                ..StreamingMdpConfig::default()
+            });
+            for p in &points {
+                mdp.observe(p).expect("observe failed");
+            }
+            mdp.outliers_seen()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mdp_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the streaming sketches: AMC vs SpaceSaving
+//! update cost (the Figure 6 comparison) and ADR vs uniform reservoir
+//! insertion cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mb_ingest::synthetic::zipf_attribute_stream;
+use mb_sketch::adr::{AdaptableDampedReservoir, DecayPolicy};
+use mb_sketch::amc::AmcSketch;
+use mb_sketch::reservoir::UniformReservoir;
+use mb_sketch::spacesaving::{SpaceSavingHash, SpaceSavingList};
+use mb_sketch::{HeavyHitterSketch, StreamSampler};
+
+const STREAM_LEN: usize = 100_000;
+
+fn heavy_hitter_updates(c: &mut Criterion) {
+    let stream = zipf_attribute_stream(STREAM_LEN, 50_000, 1.1, 7);
+    let mut group = c.benchmark_group("heavy_hitter_updates");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.sample_size(10);
+    for &size in &[100usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("amc", size), &size, |b, &size| {
+            b.iter(|| {
+                let mut sketch = AmcSketch::new(size, 10_000);
+                for &item in &stream {
+                    sketch.observe(item);
+                }
+                sketch.tracked_items()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("spacesaving_list", size),
+            &size,
+            |b, &size| {
+                b.iter(|| {
+                    let mut sketch = SpaceSavingList::new(size);
+                    for &item in &stream {
+                        sketch.observe(item);
+                    }
+                    sketch.tracked_items()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spacesaving_hash", size),
+            &size,
+            |b, &size| {
+                b.iter(|| {
+                    let mut sketch = SpaceSavingHash::new(size);
+                    for &item in &stream {
+                        sketch.observe(item);
+                    }
+                    sketch.tracked_items()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn reservoir_insertion(c: &mut Criterion) {
+    let values: Vec<f64> = (0..STREAM_LEN).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("reservoir_insertion");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.sample_size(10);
+    group.bench_function("adr", |b| {
+        b.iter(|| {
+            let mut adr = AdaptableDampedReservoir::new(
+                10_000,
+                0.01,
+                DecayPolicy::EveryNItems(100_000),
+                1,
+            );
+            for &v in &values {
+                adr.observe(v);
+            }
+            adr.len()
+        })
+    });
+    group.bench_function("uniform", |b| {
+        b.iter(|| {
+            let mut reservoir = UniformReservoir::new(10_000, 1);
+            for &v in &values {
+                reservoir.observe(v);
+            }
+            reservoir.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, heavy_hitter_updates, reservoir_insertion);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Appendix D: M-CPS-tree versus CPS-tree — streaming itemset maintenance
+//! time and structure size on attribute streams of varying cardinality.
+//!
+//! The CPS-tree keeps a node for every item ever observed, so on
+//! high-cardinality streams (Campaign/Disburse-like) it is dramatically
+//! slower and larger than the M-CPS-tree, which only admits currently
+//! frequent items.
+
+use mb_bench::{arg_usize, emit_json, human_count, throughput, timed};
+use mb_fpgrowth::cps::CpsTree;
+use mb_fpgrowth::mcps::{McpsConfig, McpsTree};
+use mb_ingest::synthetic::zipf_attribute_stream;
+
+fn main() {
+    let n = arg_usize("--points", 200_000);
+    let window = 10_000usize;
+    println!("Appendix D: M-CPS vs CPS tree ({n} transactions, window {window})");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "cardinality", "MCPS tx/s", "CPS tx/s", "speedup", "MCPS nodes", "CPS nodes", "ratio"
+    );
+    for &cardinality in &[100usize, 1_000, 10_000, 50_000] {
+        let stream_a = zipf_attribute_stream(n, cardinality, 1.1, 3);
+        let stream_b = zipf_attribute_stream(n, cardinality, 1.1, 4);
+
+        let mut mcps = McpsTree::new(McpsConfig {
+            min_support_fraction: 0.001,
+            decay_rate: 0.01,
+            amc_stable_size: 10_000,
+            amc_maintenance_period: 10_000,
+        });
+        let (_, mcps_seconds) = timed(|| {
+            for i in 0..n {
+                mcps.insert(&[stream_a[i], cardinality as u32 + stream_b[i]]);
+                if i % window == window - 1 {
+                    mcps.on_window_boundary();
+                }
+            }
+        });
+
+        let mut cps = CpsTree::new(0.01);
+        let (_, cps_seconds) = timed(|| {
+            for i in 0..n {
+                cps.insert(&[stream_a[i], cardinality as u32 + stream_b[i]]);
+                if i % window == window - 1 {
+                    cps.on_window_boundary();
+                }
+            }
+        });
+
+        let mcps_tput = throughput(n, mcps_seconds);
+        let cps_tput = throughput(n, cps_seconds);
+        println!(
+            "{:>12} {:>12} {:>12} {:>9.1}x {:>12} {:>12} {:>9.1}x",
+            cardinality,
+            human_count(mcps_tput),
+            human_count(cps_tput),
+            mcps_tput / cps_tput.max(1e-9),
+            mcps.node_count(),
+            cps.tree().node_count(),
+            cps.tree().node_count() as f64 / mcps.node_count().max(1) as f64
+        );
+        emit_json(
+            "appendix_mcps_vs_cps",
+            serde_json::json!({
+                "cardinality": cardinality,
+                "mcps_tx_per_s": mcps_tput,
+                "cps_tx_per_s": cps_tput,
+                "mcps_nodes": mcps.node_count(),
+                "cps_nodes": cps.tree().node_count(),
+            }),
+        );
+    }
+    println!(
+        "\nExpected shape (paper): the CPS-tree is on average ~130x slower than the M-CPS-tree\n\
+         across the dataset queries (over 1000x on the highest-cardinality ones), with the gap\n\
+         growing with the number of distinct attribute values."
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 10 (Appendix D): MCD train + score throughput versus metric
+//! dimensionality (Gaussian data).
+
+use mb_bench::{arg_usize, emit_json, human_count, throughput, timed};
+use mb_stats::mcd::McdEstimator;
+use mb_stats::rand_ext::{normal, SplitMix64};
+use mb_stats::Estimator;
+
+fn main() {
+    let n = arg_usize("--points", 20_000);
+    println!("Figure 10: MCD throughput vs metric dimension ({n} Gaussian points)");
+    println!("{:>10} {:>14} {:>14}", "dimension", "train+score/s", "seconds");
+    for &dim in &[2usize, 4, 8, 16, 32, 64, 128] {
+        let mut rng = SplitMix64::new(dim as u64);
+        let data: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        let (_, seconds) = timed(|| {
+            let mut est = McdEstimator::with_defaults();
+            est.train(&data).expect("train failed");
+            let mut acc = 0.0;
+            for row in &data {
+                acc += est.score(row).unwrap_or(0.0);
+            }
+            acc
+        });
+        let tput = throughput(n, seconds);
+        println!("{dim:>10} {:>14} {seconds:>14.3}", human_count(tput));
+        emit_json(
+            "fig10",
+            serde_json::json!({"dimension": dim, "points_per_second": tput, "seconds": seconds}),
+        );
+    }
+    println!(
+        "\nExpected shape (paper): throughput decreases roughly linearly (on a log scale) with\n\
+         dimensionality, motivating dimensionality reduction ahead of MCD."
+    );
+}

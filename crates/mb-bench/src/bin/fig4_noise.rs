@@ -1,0 +1,90 @@
+//! Figure 4: precision/recall (F1) of MDP explanations under label and
+//! measurement noise, for several device counts.
+//!
+//! The workload is the synthetic device dataset of Section 6.1: readings from
+//! outlying devices are drawn from N(70,10), others from N(10,10). The
+//! reported F1 is over the set of device ids named by MDP's explanations. As
+//! in the paper's setup, the classification percentile tracks the anomalous
+//! mass (label noise makes more readings anomalous), so the risk-ratio filter
+//! is what determines explanation quality.
+
+use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use mb_bench::{arg_usize, emit_json, records_to_points};
+use mb_explain::ExplanationConfig;
+use mb_ingest::synthetic::{device_f1_score, device_workload, DeviceWorkloadConfig};
+
+fn run_one(num_devices: usize, num_points: usize, label_noise: f64, measurement_noise: f64) -> f64 {
+    let outlying_fraction = 0.01;
+    let workload = device_workload(&DeviceWorkloadConfig {
+        num_points,
+        num_devices,
+        outlying_device_fraction: outlying_fraction,
+        label_noise,
+        measurement_noise,
+        ..DeviceWorkloadConfig::default()
+    });
+    let records: Vec<mb_ingest::Record> = workload.records.iter().map(|r| r.record.clone()).collect();
+    let points = records_to_points(&records);
+    let anomalous_mass = (label_noise * (1.0 - outlying_fraction)
+        + (1.0 - label_noise) * outlying_fraction
+        + 0.5 * measurement_noise)
+        .clamp(outlying_fraction, 0.6);
+    let mdp = MdpOneShot::new(MdpConfig {
+        target_percentile: 1.0 - anomalous_mass,
+        explanation: ExplanationConfig::new(0.001, 3.0),
+        attribute_names: vec!["device_id".to_string()],
+        ..MdpConfig::default()
+    });
+    let report = match mdp.run(&points) {
+        Ok(r) => r,
+        Err(_) => return 0.0,
+    };
+    let reported: Vec<String> = report
+        .explanations
+        .iter()
+        .flat_map(|e| e.attributes.iter())
+        .filter_map(|a| a.split('=').nth(1).map(|s| s.to_string()))
+        .collect();
+    device_f1_score(&reported, &workload.outlying_devices)
+}
+
+fn main() {
+    let num_points = arg_usize("--points", 100_000);
+    let device_counts = [6_400usize, 12_800, 25_600];
+    let noise_levels = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    println!("Figure 4 (left): F1 vs label noise, {num_points} points");
+    println!("{:>12} {:>10} {:>10} {:>10}", "label noise", "6400", "12800", "25600");
+    for &noise in &noise_levels {
+        let mut row = format!("{noise:>12.2}");
+        for &devices in &device_counts {
+            let f1 = run_one(devices, num_points, noise, 0.0);
+            row.push_str(&format!(" {f1:>10.3}"));
+            emit_json(
+                "fig4_label_noise",
+                serde_json::json!({"devices": devices, "noise": noise, "f1": f1}),
+            );
+        }
+        println!("{row}");
+    }
+
+    println!("\nFigure 4 (right): F1 vs measurement noise, {num_points} points");
+    println!("{:>12} {:>10} {:>10} {:>10}", "meas noise", "6400", "12800", "25600");
+    for &noise in &noise_levels {
+        let mut row = format!("{noise:>12.2}");
+        for &devices in &device_counts {
+            let f1 = run_one(devices, num_points, 0.0, noise);
+            row.push_str(&format!(" {f1:>10.3}"));
+            emit_json(
+                "fig4_measurement_noise",
+                serde_json::json!({"devices": devices, "noise": noise, "f1": f1}),
+            );
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nExpected shape (paper): perfect F1 without noise; resilient to label noise up to\n\
+         ~25% (the 3:1 ratio matching the risk-ratio threshold of 3); F1 degrades roughly\n\
+         linearly with measurement noise, and larger device counts degrade sooner."
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 8 (Appendix D): number of summaries produced and summarization
+//! time as the minimum support and minimum risk ratio are varied, on the
+//! MC- and EC-like complex queries.
+
+use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use mb_bench::{arg_usize, emit_json, records_to_points, timed};
+use mb_explain::ExplanationConfig;
+use mb_ingest::datasets::{generate_dataset, DatasetId, DatasetScale};
+
+fn run(points: &[macrobase_core::types::Point], support: f64, risk: f64) -> (usize, f64) {
+    let mdp = MdpOneShot::new(MdpConfig {
+        explanation: ExplanationConfig::new(support, risk).with_max_combination_size(3),
+        ..MdpConfig::default()
+    });
+    let (report, seconds) = timed(|| mdp.run(points).expect("query failed"));
+    (report.explanations.len(), seconds)
+}
+
+fn main() {
+    let divisor = arg_usize("--scale-divisor", 200);
+    for id in [DatasetId::Cmt, DatasetId::Campaign] {
+        let dataset = generate_dataset(id, DatasetScale { divisor }, 11);
+        let points = records_to_points(&dataset.records);
+        let label = format!("{}C", id.query_prefix());
+
+        println!("\nFigure 8 ({label}): varying minimum support (risk ratio fixed at 3)");
+        println!("{:>12} {:>12} {:>10}", "min support", "#summaries", "time (s)");
+        for &support in &[0.0001, 0.001, 0.01, 0.1, 0.5] {
+            let (count, seconds) = run(&points, support, 3.0);
+            println!("{support:>12.4} {count:>12} {seconds:>10.3}");
+            emit_json(
+                "fig8_support",
+                serde_json::json!({"query": label, "min_support": support, "summaries": count, "seconds": seconds}),
+            );
+        }
+
+        println!("\nFigure 8 ({label}): varying minimum risk ratio (support fixed at 0.1%)");
+        println!("{:>12} {:>12} {:>10}", "min ratio", "#summaries", "time (s)");
+        for &risk in &[0.01, 0.1, 1.0, 3.0, 10.0] {
+            let (count, seconds) = run(&points, 0.001, risk);
+            println!("{risk:>12.2} {count:>12} {seconds:>10.3}");
+            emit_json(
+                "fig8_risk_ratio",
+                serde_json::json!({"query": label, "min_risk_ratio": risk, "summaries": count, "seconds": seconds}),
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper): lowering support below ~0.01% mostly increases the number of\n\
+         summaries, not the runtime (time is dominated by the pass over the inliers); varying\n\
+         the risk ratio changes the number of summaries by an order of magnitude while runtime\n\
+         moves by less than ~40%."
+    );
+}

@@ -1,0 +1,94 @@
+//! Figure 9 (Appendix D): training time and classification accuracy when the
+//! robust estimators are trained on samples of the input.
+//!
+//! Mirrors the paper's CMT-style queries: MS (univariate, MAD) and MC
+//! (multivariate, MCD). Accuracy is agreement with the labels produced by a
+//! model trained on the full dataset.
+
+use mb_bench::{arg_usize, emit_json, timed};
+use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
+use mb_stats::mad::MadEstimator;
+use mb_stats::mcd::McdEstimator;
+use mb_stats::rand_ext::{normal, SplitMix64};
+use mb_stats::Estimator;
+
+fn labels_for<E: Estimator + Clone>(
+    estimator: &E,
+    metrics: &[Vec<f64>],
+    sample_size: Option<usize>,
+) -> (Vec<bool>, f64) {
+    let mut classifier = BatchClassifier::new(
+        estimator.clone(),
+        BatchClassifierConfig {
+            target_percentile: 0.99,
+            training_sample_size: sample_size,
+        },
+    );
+    let (result, seconds) = timed(|| classifier.classify_batch(metrics).expect("classify failed"));
+    (
+        result.iter().map(|c| c.label.is_outlier()).collect(),
+        seconds,
+    )
+}
+
+fn agreement(a: &[bool], b: &[bool]) -> f64 {
+    let same = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
+}
+
+fn main() {
+    let n = arg_usize("--points", 200_000);
+    let mut rng = SplitMix64::new(3);
+    let univariate: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            if i % 100 == 0 {
+                vec![normal(&mut rng, 70.0, 10.0)]
+            } else {
+                vec![normal(&mut rng, 10.0, 10.0)]
+            }
+        })
+        .collect();
+    let multivariate: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            if i % 100 == 0 {
+                (0..5).map(|_| normal(&mut rng, 70.0, 10.0)).collect()
+            } else {
+                (0..5).map(|_| normal(&mut rng, 10.0, 10.0)).collect()
+            }
+        })
+        .collect();
+
+    let (mad_full, _) = labels_for(&MadEstimator::new(), &univariate, None);
+    let (mcd_full, _) = labels_for(&McdEstimator::with_defaults(), &multivariate, None);
+
+    println!("Figure 9: accuracy and training+scoring time vs sample size ({n} points)");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "sample", "MS acc", "MS time(s)", "MC acc", "MC time(s)"
+    );
+    for &sample in &[100usize, 1_000, 10_000, 100_000] {
+        let (mad_labels, mad_time) = labels_for(&MadEstimator::new(), &univariate, Some(sample));
+        let (mcd_labels, mcd_time) =
+            labels_for(&McdEstimator::with_defaults(), &multivariate, Some(sample));
+        let mad_acc = agreement(&mad_labels, &mad_full);
+        let mcd_acc = agreement(&mcd_labels, &mcd_full);
+        println!(
+            "{sample:>12} {mad_acc:>12.4} {mad_time:>12.3} {mcd_acc:>12.4} {mcd_time:>12.3}"
+        );
+        emit_json(
+            "fig9",
+            serde_json::json!({
+                "sample_size": sample,
+                "ms_accuracy": mad_acc,
+                "ms_seconds": mad_time,
+                "mc_accuracy": mcd_acc,
+                "mc_seconds": mcd_time,
+            }),
+        );
+    }
+    println!(
+        "\nExpected shape (paper): MAD accuracy is essentially unaffected by sampling (≥99%\n\
+         agreement even at small samples) while MCD is slightly more sensitive; training on\n\
+         samples buys one to two orders of magnitude in training time."
+    );
+}

@@ -1,0 +1,129 @@
+//! Table 4: MDP accuracy on the DBSherlock-style OLTP anomaly workload.
+//!
+//! For each of the nine anomaly types (A1–A9), for both TPC-C-like and
+//! TPC-E-like baselines, the harness generates several independent clusters
+//! (train + holdout, as in the paper) and reports top-1 / top-3 accuracy of
+//! the anomalous hostname under the generic QS query and the per-anomaly QE
+//! queries.
+
+use macrobase_core::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
+use macrobase_core::types::Point;
+use mb_bench::{arg_usize, emit_json};
+use mb_explain::ExplanationConfig;
+use mb_ingest::dbsherlock::{
+    generate_cluster, qe_metric_indices, qs_metric_indices, AnomalyType, DbsherlockConfig,
+    OltpWorkload,
+};
+
+/// Rank of the true host among the explanations (1-based; None if absent).
+fn truth_rank(
+    records: &[mb_ingest::Record],
+    metric_indices: &[usize],
+    truth: &str,
+) -> Option<usize> {
+    let points: Vec<Point> = records
+        .iter()
+        .map(|r| {
+            Point::new(
+                metric_indices.iter().map(|&i| r.metrics[i]).collect(),
+                r.attributes.clone(),
+            )
+        })
+        .collect();
+    let mdp = MdpOneShot::new(MdpConfig {
+        estimator: EstimatorKind::Mcd,
+        explanation: ExplanationConfig::new(0.02, 3.0),
+        attribute_names: vec!["hostname".to_string()],
+        training_sample_size: Some(1_000),
+        ..MdpConfig::default()
+    });
+    let report = mdp.run(&points).ok()?;
+    report
+        .explanations
+        .iter()
+        .position(|e| e.attributes.iter().any(|a| a.ends_with(truth)))
+        .map(|idx| idx + 1)
+}
+
+fn main() {
+    let clusters_per_anomaly = arg_usize("--clusters", 3);
+    let rows_per_server = arg_usize("--rows", 120);
+
+    for workload in [OltpWorkload::TpcC, OltpWorkload::TpcE] {
+        let workload_name = match workload {
+            OltpWorkload::TpcC => "TPC-C",
+            OltpWorkload::TpcE => "TPC-E",
+        };
+        for (query_name, per_anomaly_metrics) in [("QS", false), ("QE", true)] {
+            println!(
+                "\nTable 4 — {workload_name}, {query_name} ({clusters_per_anomaly} clusters per anomaly):"
+            );
+            println!("{:>5} {:>14} {:>14}", "type", "top-1 correct", "top-3 correct");
+            let mut total_top1 = 0usize;
+            let mut total_top3 = 0usize;
+            let mut total_runs = 0usize;
+            for anomaly in AnomalyType::all() {
+                let metric_indices = if per_anomaly_metrics {
+                    qe_metric_indices(anomaly)
+                } else {
+                    qs_metric_indices()
+                };
+                let mut top1 = 0usize;
+                let mut top3 = 0usize;
+                for cluster in 0..clusters_per_anomaly {
+                    let config = DbsherlockConfig {
+                        rows_per_server,
+                        workload,
+                        seed: 0xD5 + cluster as u64 * 101,
+                        ..DbsherlockConfig::default()
+                    };
+                    let experiment = generate_cluster(anomaly, &config);
+                    match truth_rank(
+                        &experiment.records,
+                        &metric_indices,
+                        &experiment.anomalous_host,
+                    ) {
+                        Some(1) => {
+                            top1 += 1;
+                            top3 += 1;
+                        }
+                        Some(rank) if rank <= 3 => top3 += 1,
+                        _ => {}
+                    }
+                }
+                total_top1 += top1;
+                total_top3 += top3;
+                total_runs += clusters_per_anomaly;
+                println!(
+                    "{:>5} {:>10}/{:<3} {:>10}/{:<3}",
+                    anomaly.label(),
+                    top1,
+                    clusters_per_anomaly,
+                    top3,
+                    clusters_per_anomaly
+                );
+                emit_json(
+                    "table4",
+                    serde_json::json!({
+                        "workload": workload_name,
+                        "query": query_name,
+                        "anomaly": anomaly.label(),
+                        "top1": top1,
+                        "top3": top3,
+                        "clusters": clusters_per_anomaly,
+                    }),
+                );
+            }
+            println!(
+                "overall: top-1 {:.1}%, top-3 {:.1}%",
+                100.0 * total_top1 as f64 / total_runs as f64,
+                100.0 * total_top3 as f64 / total_runs as f64
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper): QS achieves high top-1 accuracy on A1-A8 but fails on A9\n\
+         (its correlated counters lie outside the generic metric set); QE, with per-anomaly\n\
+         metrics, reaches (near-)perfect top-3 accuracy."
+    );
+}

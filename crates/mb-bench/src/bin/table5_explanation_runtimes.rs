@@ -1,0 +1,115 @@
+//! Table 5 + Section 6.3: running time of explanation strategies on the
+//! complex queries — MacroBase's cardinality-aware strategy (MB) versus
+//! unoptimized two-sided FPGrowth (FP), data cubing (Cube), decision trees of
+//! depth 10 and 100 (DT10/DT100), and Apriori (AP).
+//!
+//! Each strategy receives the same pre-classified outlier/inlier transaction
+//! sets so the comparison isolates explanation cost, as in the paper.
+
+use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use mb_bench::{arg_usize, emit_json, records_to_points, timed};
+use mb_classify::Label;
+use mb_explain::baselines::{apriori_explain, cube_explain, decision_tree_explain};
+use mb_explain::batch::{naive_fpgrowth_explain, BatchExplainer};
+use mb_explain::encoder::AttributeEncoder;
+use mb_explain::ExplanationConfig;
+use mb_fpgrowth::Item;
+use mb_ingest::datasets::{generate_dataset, DatasetId, DatasetScale};
+
+const TIMEOUT_SECONDS: f64 = 120.0;
+
+fn classify_and_encode(
+    points: &[macrobase_core::types::Point],
+) -> (Vec<Vec<Item>>, Vec<Vec<Item>>) {
+    // Use the MDP classifier once to produce labels, then encode attributes.
+    let mdp = MdpOneShot::new(MdpConfig {
+        skip_explanation: true,
+        retain_scores: true,
+        ..MdpConfig::default()
+    });
+    let report = mdp.run(points).expect("classification failed");
+    let cutoff = report.score_cutoff.unwrap_or(f64::INFINITY);
+    let mut encoder = AttributeEncoder::new();
+    let mut outliers = Vec::new();
+    let mut inliers = Vec::new();
+    for (point, &score) in points.iter().zip(report.scores.iter()) {
+        let items = encoder.encode_point(&point.attributes);
+        let label = if score >= cutoff {
+            Label::Outlier
+        } else {
+            Label::Inlier
+        };
+        if label.is_outlier() {
+            outliers.push(items);
+        } else {
+            inliers.push(items);
+        }
+    }
+    (outliers, inliers)
+}
+
+fn main() {
+    let divisor = arg_usize("--scale-divisor", 500);
+    let config = ExplanationConfig::new(0.001, 3.0).with_max_combination_size(3);
+    println!(
+        "Table 5: explanation running time (s) per complex query (rows scaled by 1/{divisor}; DNF = > {TIMEOUT_SECONDS}s, not attempted)"
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "query", "MB", "FP", "Cube", "DT10", "DT100", "AP"
+    );
+    for id in DatasetId::all() {
+        let dataset = generate_dataset(id, DatasetScale { divisor }, 23);
+        let points = records_to_points(&dataset.records);
+        let (outliers, inliers) = classify_and_encode(&points);
+        let name = format!("{}C", id.query_prefix());
+
+        let (mb_result, mb) = timed(|| BatchExplainer::new(config).explain(&outliers, &inliers));
+        let (_, fp) = timed(|| naive_fpgrowth_explain(&outliers, &inliers, &config));
+        // Cubing enumerates every value combination; on the very wide queries
+        // it is the strategy the paper reports as DNF — guard with a column
+        // bound rather than waiting two minutes.
+        let cube = if dataset.spec.complex_attributes <= 6 {
+            let (_, t) = timed(|| cube_explain(&outliers, &inliers, &config));
+            Some(t)
+        } else {
+            None
+        };
+        let (_, dt10) = timed(|| decision_tree_explain(&outliers, &inliers, 10, &config));
+        let (_, dt100) = timed(|| decision_tree_explain(&outliers, &inliers, 100, &config));
+        let (_, ap) = timed(|| apriori_explain(&outliers, &inliers, &config));
+
+        let fmt = |value: Option<f64>| match value {
+            Some(v) => format!("{v:.2}"),
+            None => "DNF".to_string(),
+        };
+        println!(
+            "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            name,
+            fmt(Some(mb)),
+            fmt(Some(fp)),
+            fmt(cube),
+            fmt(Some(dt10)),
+            fmt(Some(dt100)),
+            fmt(Some(ap))
+        );
+        emit_json(
+            "table5",
+            serde_json::json!({
+                "query": name,
+                "macrobase_s": mb,
+                "fpgrowth_s": fp,
+                "cube_s": cube,
+                "dt10_s": dt10,
+                "dt100_s": dt100,
+                "apriori_s": ap,
+                "macrobase_explanations": mb_result.len(),
+            }),
+        );
+    }
+    println!(
+        "\nExpected shape (paper): MacroBase's cardinality-aware strategy is fastest on every\n\
+         query (average ~3.2x over two-sided FPGrowth); cubing and Apriori are one to two\n\
+         orders of magnitude slower (or DNF), and deep decision trees are the slowest finishers."
+    );
+}

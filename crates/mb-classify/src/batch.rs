@@ -1,0 +1,258 @@
+//! One-shot (batch) classification.
+//!
+//! In one-shot mode (Section 3.2, "operating modes"), MacroBase trains its
+//! robust estimator on the whole batch (or a uniform sample of it — Figure 9
+//! studies the accuracy/throughput trade-off of sampling), scores every
+//! point, and cuts at the target percentile of the observed scores.
+
+use crate::threshold::StaticThreshold;
+use crate::{Classification, Label};
+use mb_stats::{Estimator, Result, StatsError};
+
+/// Configuration for the batch classifier.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchClassifierConfig {
+    /// Percentile of scores above which a point is an outlier (paper default
+    /// 0.99, i.e. "target outlier percentile of 1%").
+    pub target_percentile: f64,
+    /// Optional cap on the number of points used for training. `None` trains
+    /// on the full batch; `Some(k)` trains on an evenly strided sample of at
+    /// most `k` points (Figure 9's "operating on samples").
+    pub training_sample_size: Option<usize>,
+}
+
+impl Default for BatchClassifierConfig {
+    fn default() -> Self {
+        BatchClassifierConfig {
+            target_percentile: 0.99,
+            training_sample_size: None,
+        }
+    }
+}
+
+/// A batch classifier wrapping any [`Estimator`] (MAD, MCD, Z-score, ...).
+#[derive(Debug, Clone)]
+pub struct BatchClassifier<E: Estimator> {
+    estimator: E,
+    config: BatchClassifierConfig,
+    threshold: Option<StaticThreshold>,
+}
+
+impl<E: Estimator> BatchClassifier<E> {
+    /// Wrap an (untrained) estimator.
+    pub fn new(estimator: E, config: BatchClassifierConfig) -> Self {
+        BatchClassifier {
+            estimator,
+            config,
+            threshold: None,
+        }
+    }
+
+    /// Train the estimator and threshold, then score and label every point.
+    ///
+    /// Returns one [`Classification`] per input row, in input order.
+    pub fn classify_batch(&mut self, metrics: &[Vec<f64>]) -> Result<Vec<Classification>> {
+        if metrics.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(0.0..=1.0).contains(&self.config.target_percentile) {
+            return Err(StatsError::InvalidParameter(format!(
+                "target percentile must be in [0, 1], got {}",
+                self.config.target_percentile
+            )));
+        }
+        // Train, optionally on a strided subsample.
+        match self.config.training_sample_size {
+            Some(k) if k > 0 && k < metrics.len() => {
+                let stride = metrics.len().div_ceil(k);
+                let sample: Vec<Vec<f64>> =
+                    metrics.iter().step_by(stride).cloned().collect();
+                self.estimator.train(&sample)?;
+            }
+            _ => self.estimator.train(metrics)?,
+        }
+        // Score everything.
+        let scores: Vec<f64> = metrics
+            .iter()
+            .map(|row| self.estimator.score(row))
+            .collect::<Result<Vec<f64>>>()?;
+        // Threshold at the target percentile of observed scores.
+        let threshold = StaticThreshold::from_scores(&scores, self.config.target_percentile)?;
+        self.threshold = Some(threshold);
+        Ok(scores
+            .into_iter()
+            .map(|score| threshold.classify(score))
+            .collect())
+    }
+
+    /// Score and label a single point using the model and threshold fitted by
+    /// the last [`classify_batch`] call.
+    ///
+    /// [`classify_batch`]: BatchClassifier::classify_batch
+    pub fn classify_point(&self, metrics: &[f64]) -> Result<Classification> {
+        let threshold = self.threshold.ok_or(StatsError::NotTrained)?;
+        let score = self.estimator.score(metrics)?;
+        Ok(threshold.classify(score))
+    }
+
+    /// The trained threshold, if any.
+    pub fn threshold(&self) -> Option<StaticThreshold> {
+        self.threshold
+    }
+
+    /// Access the wrapped estimator.
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+
+    /// Convenience: split classifications into (outlier indices, inlier indices).
+    pub fn partition_indices(classifications: &[Classification]) -> (Vec<usize>, Vec<usize>) {
+        let mut outliers = Vec::new();
+        let mut inliers = Vec::new();
+        for (idx, c) in classifications.iter().enumerate() {
+            match c.label {
+                Label::Outlier => outliers.push(idx),
+                Label::Inlier => inliers.push(idx),
+            }
+        }
+        (outliers, inliers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_stats::mad::MadEstimator;
+    use mb_stats::mcd::McdEstimator;
+    use mb_stats::rand_ext::{normal, SplitMix64};
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let mut c = BatchClassifier::new(MadEstimator::new(), BatchClassifierConfig::default());
+        assert!(matches!(
+            c.classify_batch(&[]),
+            Err(StatsError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn flags_about_the_target_fraction() {
+        let mut rng = SplitMix64::new(1);
+        let metrics: Vec<Vec<f64>> = (0..10_000)
+            .map(|_| vec![normal(&mut rng, 10.0, 2.0)])
+            .collect();
+        let mut c = BatchClassifier::new(MadEstimator::new(), BatchClassifierConfig::default());
+        let result = c.classify_batch(&metrics).unwrap();
+        let outliers = result.iter().filter(|r| r.label.is_outlier()).count();
+        let fraction = outliers as f64 / metrics.len() as f64;
+        assert!((0.005..0.02).contains(&fraction), "fraction = {fraction}");
+    }
+
+    #[test]
+    fn injected_anomalies_are_the_flagged_points() {
+        let mut rng = SplitMix64::new(2);
+        let mut metrics: Vec<Vec<f64>> = (0..5_000)
+            .map(|_| vec![normal(&mut rng, 10.0, 1.0)])
+            .collect();
+        // 50 extreme points (1%) injected at known indices.
+        for i in 0..50 {
+            metrics[i * 100] = vec![normal(&mut rng, 100.0, 1.0)];
+        }
+        let mut c = BatchClassifier::new(
+            MadEstimator::new(),
+            BatchClassifierConfig {
+                target_percentile: 0.99,
+                training_sample_size: None,
+            },
+        );
+        let result = c.classify_batch(&metrics).unwrap();
+        let (outlier_idx, _) = BatchClassifier::<MadEstimator>::partition_indices(&result);
+        // All injected indices must be flagged.
+        for i in 0..50 {
+            assert!(
+                outlier_idx.contains(&(i * 100)),
+                "injected anomaly {} not flagged",
+                i * 100
+            );
+        }
+    }
+
+    #[test]
+    fn multivariate_mcd_classification() {
+        let mut rng = SplitMix64::new(3);
+        let mut metrics: Vec<Vec<f64>> = (0..2_000)
+            .map(|_| vec![normal(&mut rng, 0.0, 1.0), normal(&mut rng, 0.0, 1.0)])
+            .collect();
+        for i in 0..20 {
+            metrics[i * 100] = vec![50.0, 50.0];
+        }
+        let mut c = BatchClassifier::new(
+            McdEstimator::with_defaults(),
+            BatchClassifierConfig::default(),
+        );
+        let result = c.classify_batch(&metrics).unwrap();
+        for i in 0..20 {
+            assert!(result[i * 100].label.is_outlier());
+        }
+    }
+
+    #[test]
+    fn training_on_sample_still_classifies_well() {
+        let mut rng = SplitMix64::new(4);
+        let mut metrics: Vec<Vec<f64>> = (0..20_000)
+            .map(|_| vec![normal(&mut rng, 10.0, 1.0)])
+            .collect();
+        for i in 0..200 {
+            metrics[i * 100] = vec![normal(&mut rng, 70.0, 1.0)];
+        }
+        let mut c = BatchClassifier::new(
+            MadEstimator::new(),
+            BatchClassifierConfig {
+                target_percentile: 0.99,
+                training_sample_size: Some(500),
+            },
+        );
+        let result = c.classify_batch(&metrics).unwrap();
+        let flagged: Vec<usize> = result
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.label.is_outlier())
+            .map(|(i, _)| i)
+            .collect();
+        let injected_found = (0..200).filter(|i| flagged.contains(&(i * 100))).count();
+        assert!(injected_found >= 190, "found only {injected_found} of 200");
+    }
+
+    #[test]
+    fn classify_point_requires_prior_batch() {
+        let c = BatchClassifier::new(MadEstimator::new(), BatchClassifierConfig::default());
+        assert_eq!(c.classify_point(&[1.0]), Err(StatsError::NotTrained));
+    }
+
+    #[test]
+    fn classify_point_after_batch() {
+        let mut rng = SplitMix64::new(5);
+        let metrics: Vec<Vec<f64>> = (0..5_000)
+            .map(|_| vec![normal(&mut rng, 0.0, 1.0)])
+            .collect();
+        let mut c = BatchClassifier::new(MadEstimator::new(), BatchClassifierConfig::default());
+        c.classify_batch(&metrics).unwrap();
+        assert_eq!(c.classify_point(&[0.0]).unwrap().label, Label::Inlier);
+        assert_eq!(c.classify_point(&[100.0]).unwrap().label, Label::Outlier);
+    }
+
+    #[test]
+    fn invalid_percentile_rejected() {
+        let mut c = BatchClassifier::new(
+            MadEstimator::new(),
+            BatchClassifierConfig {
+                target_percentile: 2.0,
+                training_sample_size: None,
+            },
+        );
+        assert!(matches!(
+            c.classify_batch(&[vec![1.0], vec![2.0]]),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+}

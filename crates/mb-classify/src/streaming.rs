@@ -1,0 +1,317 @@
+//! Streaming classification with ADR-based retraining (Section 4.2, the left
+//! half of Figure 2).
+//!
+//! The streaming classifier maintains two Adaptable Damped Reservoirs:
+//!
+//! * an **input ADR** sampling recent metric vectors, from which the robust
+//!   estimator (MAD or MCD) is periodically retrained, and
+//! * a **score ADR** sampling recent outlier scores, from which the
+//!   percentile threshold is periodically recomputed.
+//!
+//! Both reservoirs decay when the caller signals a period boundary (tuple- or
+//! time-based), which is what lets the classifier adapt to distribution
+//! shifts while staying resilient to arrival-rate spikes (Figure 5).
+
+use crate::threshold::StreamingPercentileThreshold;
+use crate::{Classification, Label};
+use mb_sketch::adr::{AdaptableDampedReservoir, DecayPolicy};
+use mb_sketch::StreamSampler;
+use mb_stats::{Estimator, Result};
+
+/// Configuration for the streaming classifier.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingClassifierConfig {
+    /// Size of the input (training) reservoir. Paper default: 10K.
+    pub input_reservoir_size: usize,
+    /// Size of the score reservoir. Paper default: 10K–20K.
+    pub score_reservoir_size: usize,
+    /// Decay rate applied to both reservoirs at each period boundary.
+    /// Paper default: 0.01 every 100K points.
+    pub decay_rate: f64,
+    /// Retrain the model every this many observed points.
+    pub retrain_period: u64,
+    /// Target score percentile above which points are outliers (default 0.99).
+    pub target_percentile: f64,
+    /// Number of points between threshold refreshes.
+    pub threshold_refresh_period: u64,
+    /// Minimum number of buffered points before the first model training.
+    pub warmup_points: usize,
+    /// RNG seed for the reservoirs.
+    pub seed: u64,
+}
+
+impl Default for StreamingClassifierConfig {
+    fn default() -> Self {
+        StreamingClassifierConfig {
+            input_reservoir_size: 10_000,
+            score_reservoir_size: 10_000,
+            decay_rate: 0.01,
+            retrain_period: 10_000,
+            target_percentile: 0.99,
+            threshold_refresh_period: 1_000,
+            warmup_points: 100,
+            seed: 0xACB7,
+        }
+    }
+}
+
+/// Streaming classifier wrapping any [`Estimator`].
+#[derive(Debug, Clone)]
+pub struct StreamingClassifier<E: Estimator> {
+    estimator: E,
+    config: StreamingClassifierConfig,
+    input_reservoir: AdaptableDampedReservoir<Vec<f64>>,
+    threshold: StreamingPercentileThreshold,
+    points_since_retrain: u64,
+    total_points: u64,
+    model_trained: bool,
+}
+
+impl<E: Estimator> StreamingClassifier<E> {
+    /// Create a streaming classifier around an (untrained) estimator.
+    pub fn new(estimator: E, config: StreamingClassifierConfig) -> Result<Self> {
+        let input_reservoir = AdaptableDampedReservoir::new(
+            config.input_reservoir_size,
+            config.decay_rate,
+            DecayPolicy::Manual,
+            config.seed,
+        );
+        let threshold = StreamingPercentileThreshold::new(
+            config.target_percentile,
+            config.score_reservoir_size,
+            config.decay_rate,
+            config.threshold_refresh_period,
+            config.seed.wrapping_add(1),
+        )?;
+        Ok(StreamingClassifier {
+            estimator,
+            config,
+            input_reservoir,
+            threshold,
+            points_since_retrain: 0,
+            total_points: 0,
+            model_trained: false,
+        })
+    }
+
+    /// Observe one point's metrics, retraining/refreshing as configured, and
+    /// return its classification. Before the model is first trained (during
+    /// warm-up) every point is labeled an inlier with score 0.
+    pub fn observe(&mut self, metrics: &[f64]) -> Classification {
+        self.total_points += 1;
+        self.points_since_retrain += 1;
+        self.input_reservoir.observe(metrics.to_vec());
+
+        // Initial training once enough points are buffered.
+        if !self.model_trained && self.input_reservoir.len() >= self.config.warmup_points {
+            self.retrain();
+        } else if self.model_trained && self.points_since_retrain >= self.config.retrain_period {
+            self.retrain();
+        }
+
+        if !self.model_trained {
+            return Classification {
+                score: 0.0,
+                label: Label::Inlier,
+            };
+        }
+        match self.estimator.score(metrics) {
+            Ok(score) => self.threshold.observe_and_classify(score),
+            Err(_) => Classification {
+                score: 0.0,
+                label: Label::Inlier,
+            },
+        }
+    }
+
+    /// Force a model retrain from the current input reservoir.
+    pub fn retrain(&mut self) {
+        self.points_since_retrain = 0;
+        let sample = self.input_reservoir.snapshot();
+        if sample.is_empty() {
+            return;
+        }
+        if self.estimator.train(&sample).is_ok() {
+            self.model_trained = true;
+        }
+    }
+
+    /// Signal a decay period boundary: both reservoirs are decayed, and the
+    /// threshold drift counters are reset.
+    pub fn on_period_boundary(&mut self) {
+        self.input_reservoir.decay();
+        self.threshold.decay();
+        self.threshold.refresh();
+        self.threshold.reset_drift_window();
+    }
+
+    /// Whether the model has been trained at least once.
+    pub fn is_trained(&self) -> bool {
+        self.model_trained
+    }
+
+    /// Total number of points observed.
+    pub fn observed(&self) -> u64 {
+        self.total_points
+    }
+
+    /// The current score cutoff, if available.
+    pub fn current_cutoff(&mut self) -> Option<f64> {
+        self.threshold.cutoff().ok()
+    }
+
+    /// Whether the observed outlier rate has drifted from the target
+    /// percentile (see [`StreamingPercentileThreshold::drift_detected`]).
+    pub fn drift_detected(&self, confidence: f64) -> bool {
+        self.threshold.drift_detected(confidence).unwrap_or(false)
+    }
+
+    /// Access the wrapped estimator (e.g. to read MCD location/scatter).
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_stats::mad::MadEstimator;
+    use mb_stats::mcd::McdEstimator;
+    use mb_stats::rand_ext::{normal, SplitMix64};
+
+    fn test_config() -> StreamingClassifierConfig {
+        StreamingClassifierConfig {
+            input_reservoir_size: 2_000,
+            score_reservoir_size: 2_000,
+            decay_rate: 0.05,
+            retrain_period: 2_000,
+            target_percentile: 0.99,
+            threshold_refresh_period: 500,
+            warmup_points: 200,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn warmup_points_are_inliers() {
+        let mut c = StreamingClassifier::new(MadEstimator::new(), test_config()).unwrap();
+        for i in 0..10 {
+            let r = c.observe(&[i as f64]);
+            assert_eq!(r.label, Label::Inlier);
+        }
+        assert!(!c.is_trained());
+    }
+
+    #[test]
+    fn trains_after_warmup_and_flags_extremes() {
+        let mut rng = SplitMix64::new(1);
+        let mut c = StreamingClassifier::new(MadEstimator::new(), test_config()).unwrap();
+        for _ in 0..5_000 {
+            c.observe(&[normal(&mut rng, 10.0, 1.0)]);
+        }
+        assert!(c.is_trained());
+        let extreme = c.observe(&[1_000.0]);
+        assert_eq!(extreme.label, Label::Outlier);
+        assert!(extreme.score > 100.0);
+        let typical = c.observe(&[10.0]);
+        assert_eq!(typical.label, Label::Inlier);
+    }
+
+    #[test]
+    fn outlier_rate_tracks_target_percentile() {
+        let mut rng = SplitMix64::new(2);
+        let mut c = StreamingClassifier::new(MadEstimator::new(), test_config()).unwrap();
+        let n = 50_000;
+        let mut outliers = 0usize;
+        for i in 0..n {
+            let r = c.observe(&[normal(&mut rng, 0.0, 1.0)]);
+            if r.label.is_outlier() {
+                outliers += 1;
+            }
+            if i % 10_000 == 9_999 {
+                c.on_period_boundary();
+            }
+        }
+        let fraction = outliers as f64 / n as f64;
+        assert!((0.003..0.03).contains(&fraction), "fraction = {fraction}");
+    }
+
+    #[test]
+    fn adapts_to_distribution_shift_after_retraining() {
+        let mut rng = SplitMix64::new(3);
+        let mut cfg = test_config();
+        cfg.retrain_period = 1_000;
+        cfg.decay_rate = 0.5;
+        let mut c = StreamingClassifier::new(MadEstimator::new(), cfg).unwrap();
+        // Regime 1: values around 10.
+        for i in 0..10_000 {
+            c.observe(&[normal(&mut rng, 10.0, 1.0)]);
+            if i % 2_000 == 1_999 {
+                c.on_period_boundary();
+            }
+        }
+        // A value of 40 is extreme in regime 1.
+        assert!(c.observe(&[40.0]).label.is_outlier());
+        // Regime 2: every device moves to 40 (the Figure 5 "all devices shift"
+        // scenario). After enough points and boundaries, 40 becomes normal.
+        for i in 0..20_000 {
+            c.observe(&[normal(&mut rng, 40.0, 1.0)]);
+            if i % 2_000 == 1_999 {
+                c.on_period_boundary();
+            }
+        }
+        assert_eq!(c.observe(&[40.0]).label, Label::Inlier);
+        // And a drop to -10 (D0's second anomaly in Figure 5) is now extreme.
+        assert!(c.observe(&[-10.0]).label.is_outlier());
+    }
+
+    #[test]
+    fn multivariate_streaming_with_mcd() {
+        let mut rng = SplitMix64::new(4);
+        let mut cfg = test_config();
+        cfg.input_reservoir_size = 500;
+        cfg.retrain_period = 5_000;
+        let mut c =
+            StreamingClassifier::new(McdEstimator::with_defaults(), cfg).unwrap();
+        for _ in 0..3_000 {
+            c.observe(&[normal(&mut rng, 0.0, 1.0), normal(&mut rng, 5.0, 2.0)]);
+        }
+        assert!(c.is_trained());
+        assert!(c.observe(&[100.0, 100.0]).label.is_outlier());
+        assert_eq!(c.observe(&[0.0, 5.0]).label, Label::Inlier);
+    }
+
+    #[test]
+    fn drift_detection_after_shift_without_retrain() {
+        let mut rng = SplitMix64::new(5);
+        let mut cfg = test_config();
+        // Disable retraining so the model (and hence the score scale) stays
+        // fit to the first regime; the drift detector must notice that the
+        // outlier rate then explodes under the second regime.
+        cfg.retrain_period = u64::MAX;
+        let mut c = StreamingClassifier::new(MadEstimator::new(), cfg).unwrap();
+        for _ in 0..2_000 {
+            c.observe(&[normal(&mut rng, 0.0, 1.0)]);
+        }
+        // Period boundary: threshold refreshed on first-regime scores, drift
+        // counters reset.
+        c.on_period_boundary();
+        assert!(!c.drift_detected(0.95));
+        for _ in 0..2_000 {
+            c.observe(&[normal(&mut rng, 50.0, 1.0)]);
+        }
+        assert!(c.drift_detected(0.95));
+    }
+
+    #[test]
+    fn cutoff_is_exposed() {
+        let mut rng = SplitMix64::new(6);
+        let mut c = StreamingClassifier::new(MadEstimator::new(), test_config()).unwrap();
+        assert!(c.current_cutoff().is_none());
+        for _ in 0..2_000 {
+            c.observe(&[normal(&mut rng, 0.0, 1.0)]);
+        }
+        let cutoff = c.current_cutoff().unwrap();
+        assert!(cutoff > 1.0 && cutoff < 10.0, "cutoff = {cutoff}");
+    }
+}

@@ -1,0 +1,360 @@
+//! Batch explanation: MacroBase's outlier-aware strategy (Algorithm 2) and
+//! the naïve two-sided FPGrowth baseline it is compared against (Section 6.3).
+//!
+//! The optimized strategy exploits the cardinality imbalance between classes:
+//! outliers are (by construction) ~1% of the stream, so it first finds
+//! attribute values supported *in the outliers*, prunes them by risk ratio
+//! using a single counting pass over the inliers restricted to those
+//! candidates, mines combinations only over the outliers, and finally makes
+//! one more restricted pass over the inliers to compute combination risk
+//! ratios. The naïve baseline instead mines both classes in full.
+
+use crate::risk_ratio::{risk_ratio_from_totals, Explanation, ExplanationStats};
+use crate::ExplanationConfig;
+use mb_fpgrowth::fptree::FpTree;
+use mb_fpgrowth::{FrequentItemset, Item};
+use std::collections::{HashMap, HashSet};
+
+/// The outlier-aware batch explainer (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct BatchExplainer {
+    config: ExplanationConfig,
+}
+
+impl BatchExplainer {
+    /// Create an explainer with the given thresholds.
+    pub fn new(config: ExplanationConfig) -> Self {
+        BatchExplainer { config }
+    }
+
+    /// Produce explanations for a batch of outlier and inlier transactions
+    /// (each transaction is one point's encoded attribute items).
+    pub fn explain(&self, outliers: &[Vec<Item>], inliers: &[Vec<Item>]) -> Vec<Explanation> {
+        let total_outliers = outliers.len() as f64;
+        let total_inliers = inliers.len() as f64;
+        if outliers.is_empty() {
+            return Vec::new();
+        }
+        let min_outlier_count = (self.config.min_support * total_outliers).max(1.0);
+
+        // Stage 1a: count single attribute values over the (small) outlier set.
+        let mut outlier_singles: HashMap<Item, f64> = HashMap::new();
+        for transaction in outliers {
+            let mut seen: Vec<Item> = transaction.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for item in seen {
+                *outlier_singles.entry(item).or_insert(0.0) += 1.0;
+            }
+        }
+        let supported_singles: HashSet<Item> = outlier_singles
+            .iter()
+            .filter(|(_, &count)| count >= min_outlier_count)
+            .map(|(&item, _)| item)
+            .collect();
+        if supported_singles.is_empty() {
+            return Vec::new();
+        }
+
+        // Stage 1b: one pass over the inliers counting ONLY the supported
+        // candidates (this is the cardinality-aware pruning).
+        let mut inlier_singles: HashMap<Item, f64> = HashMap::new();
+        for transaction in inliers {
+            let mut seen: Vec<Item> = transaction
+                .iter()
+                .copied()
+                .filter(|item| supported_singles.contains(item))
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for item in seen {
+                *inlier_singles.entry(item).or_insert(0.0) += 1.0;
+            }
+        }
+
+        // Stage 1c: filter candidates by single-item risk ratio.
+        let surviving: HashSet<Item> = supported_singles
+            .iter()
+            .copied()
+            .filter(|item| {
+                let ao = outlier_singles[item];
+                let ai = inlier_singles.get(item).copied().unwrap_or(0.0);
+                risk_ratio_from_totals(ao, ai, total_outliers, total_inliers)
+                    >= self.config.min_risk_ratio
+            })
+            .collect();
+        if surviving.is_empty() {
+            return Vec::new();
+        }
+
+        // Stage 2: mine combinations over the outliers restricted to the
+        // surviving attribute values.
+        let filtered_outliers: Vec<(Vec<Item>, f64)> = outliers
+            .iter()
+            .map(|t| {
+                (
+                    t.iter()
+                        .copied()
+                        .filter(|item| surviving.contains(item))
+                        .collect::<Vec<Item>>(),
+                    1.0,
+                )
+            })
+            .filter(|(items, _)| !items.is_empty())
+            .collect();
+        let tree = FpTree::from_weighted_transactions(&filtered_outliers, min_outlier_count);
+        let mined: Vec<FrequentItemset> =
+            tree.mine(min_outlier_count, self.config.max_combination_size);
+
+        // Stage 3: compute risk ratios; combinations (size >= 2) need one more
+        // restricted pass over the inliers to obtain their inlier counts.
+        let combos: Vec<&FrequentItemset> = mined.iter().filter(|m| m.len() >= 2).collect();
+        let mut combo_inlier_counts: HashMap<&[Item], f64> = HashMap::new();
+        if !combos.is_empty() {
+            for transaction in inliers {
+                let present: HashSet<Item> = transaction
+                    .iter()
+                    .copied()
+                    .filter(|item| surviving.contains(item))
+                    .collect();
+                if present.is_empty() {
+                    continue;
+                }
+                for combo in &combos {
+                    if combo.items.iter().all(|item| present.contains(item)) {
+                        *combo_inlier_counts.entry(combo.items.as_slice()).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+        }
+
+        let mut explanations = Vec::new();
+        for itemset in &mined {
+            let ai = if itemset.len() == 1 {
+                inlier_singles
+                    .get(&itemset.items[0])
+                    .copied()
+                    .unwrap_or(0.0)
+            } else {
+                combo_inlier_counts
+                    .get(itemset.items.as_slice())
+                    .copied()
+                    .unwrap_or(0.0)
+            };
+            let stats = ExplanationStats::from_counts(
+                itemset.support,
+                ai,
+                total_outliers,
+                total_inliers,
+            );
+            if stats.risk_ratio >= self.config.min_risk_ratio {
+                explanations.push(Explanation::new(itemset.items.clone(), stats));
+            }
+        }
+        explanations
+    }
+}
+
+/// The naïve baseline: mine outliers AND inliers in full with FPGrowth, then
+/// join the results to compute risk ratios (Section 6.3 / "FP" in Table 5).
+/// Functionally it reports the same high-risk-ratio combinations, but it
+/// spends most of its time mining inlier patterns that are discarded.
+pub fn naive_fpgrowth_explain(
+    outliers: &[Vec<Item>],
+    inliers: &[Vec<Item>],
+    config: &ExplanationConfig,
+) -> Vec<Explanation> {
+    let total_outliers = outliers.len() as f64;
+    let total_inliers = inliers.len() as f64;
+    if outliers.is_empty() {
+        return Vec::new();
+    }
+    let min_outlier_count = (config.min_support * total_outliers).max(1.0);
+
+    // Mine the outlier side.
+    let outlier_tree = FpTree::from_transactions(outliers, min_outlier_count);
+    let outlier_sets = outlier_tree.mine(min_outlier_count, config.max_combination_size);
+
+    // Mine the inlier side in full at the same *relative* support — the
+    // wasted work the optimized strategy avoids.
+    let min_inlier_count = (config.min_support * total_inliers).max(1.0);
+    let inlier_tree = FpTree::from_transactions(inliers, min_inlier_count);
+    let inlier_sets = inlier_tree.mine(min_inlier_count, config.max_combination_size);
+    let inlier_counts: HashMap<Vec<Item>, f64> = inlier_sets
+        .into_iter()
+        .map(|s| (s.items, s.support))
+        .collect();
+
+    let mut explanations = Vec::new();
+    for itemset in outlier_sets {
+        let ai = inlier_counts.get(&itemset.items).copied().unwrap_or(0.0);
+        let stats =
+            ExplanationStats::from_counts(itemset.support, ai, total_outliers, total_inliers);
+        if stats.risk_ratio >= config.min_risk_ratio {
+            explanations.push(Explanation::new(itemset.items, stats));
+        }
+    }
+    explanations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::risk_ratio::rank_explanations;
+
+    /// Build a synthetic workload where outliers are dominated by the
+    /// attribute pair (1, 2) (e.g. device type B264 + app version 2.26.3)
+    /// while inliers draw attributes from a wide pool.
+    fn planted_workload(
+        n_outliers: usize,
+        n_inliers: usize,
+        planted_fraction: f64,
+    ) -> (Vec<Vec<Item>>, Vec<Vec<Item>>) {
+        let planted = (n_outliers as f64 * planted_fraction) as usize;
+        let mut outliers = Vec::with_capacity(n_outliers);
+        for i in 0..n_outliers {
+            if i < planted {
+                outliers.push(vec![1, 2, 100 + (i % 10) as Item]);
+            } else {
+                outliers.push(vec![
+                    10 + (i % 5) as Item,
+                    20 + (i % 7) as Item,
+                    100 + (i % 10) as Item,
+                ]);
+            }
+        }
+        let mut inliers = Vec::with_capacity(n_inliers);
+        for i in 0..n_inliers {
+            inliers.push(vec![
+                10 + (i % 5) as Item,
+                20 + (i % 7) as Item,
+                100 + (i % 10) as Item,
+            ]);
+        }
+        (outliers, inliers)
+    }
+
+    #[test]
+    fn empty_outliers_yield_no_explanations() {
+        let explainer = BatchExplainer::new(ExplanationConfig::default());
+        assert!(explainer.explain(&[], &[vec![1, 2]]).is_empty());
+    }
+
+    #[test]
+    fn finds_planted_combination() {
+        let (outliers, inliers) = planted_workload(1_000, 50_000, 0.8);
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.01, 3.0));
+        let mut explanations = explainer.explain(&outliers, &inliers);
+        rank_explanations(&mut explanations);
+        assert!(!explanations.is_empty());
+        // The planted pair must be reported with a very high risk ratio (it
+        // never occurs among inliers, but 20% of outliers lack it, so the
+        // ratio is large and finite).
+        let pair = explanations.iter().find(|e| e.items == vec![1, 2]);
+        assert!(pair.is_some(), "pair not found in {explanations:?}");
+        let pair = pair.unwrap();
+        assert!(pair.stats.risk_ratio > 100.0);
+        assert!((pair.stats.outlier_support - 0.8).abs() < 0.01);
+        // Common attributes (100..110 appear in both classes equally) must NOT
+        // be reported.
+        assert!(explanations
+            .iter()
+            .all(|e| e.items.iter().all(|&i| i < 100)));
+    }
+
+    #[test]
+    fn risk_ratio_threshold_filters_common_attributes() {
+        // Attribute 7 occurs in 100% of outliers but also 100% of inliers: it
+        // has overwhelming support yet a risk ratio near 1 and must be pruned.
+        let outliers: Vec<Vec<Item>> = (0..100).map(|_| vec![7, 1]).collect();
+        let inliers: Vec<Vec<Item>> = (0..10_000).map(|i| vec![7, (i % 50 + 10) as Item]).collect();
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.01, 3.0));
+        let explanations = explainer.explain(&outliers, &inliers);
+        assert!(explanations.iter().any(|e| e.items == vec![1]));
+        assert!(!explanations.iter().any(|e| e.items == vec![7]));
+        // And the pair {1, 7} is only reported if every subset passes; item 7
+        // fails the single-item ratio test, so the pair is not explored.
+        assert!(!explanations.iter().any(|e| e.items == vec![1, 7]));
+    }
+
+    #[test]
+    fn support_threshold_filters_rare_combinations() {
+        let mut outliers: Vec<Vec<Item>> = (0..1_000).map(|_| vec![1]).collect();
+        outliers.push(vec![55]); // a single occurrence, below 1% support
+        let inliers: Vec<Vec<Item>> = (0..10_000).map(|i| vec![(i % 50 + 100) as Item]).collect();
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.01, 3.0));
+        let explanations = explainer.explain(&outliers, &inliers);
+        assert!(explanations.iter().any(|e| e.items == vec![1]));
+        assert!(!explanations.iter().any(|e| e.items == vec![55]));
+    }
+
+    #[test]
+    fn max_combination_size_is_respected() {
+        let outliers: Vec<Vec<Item>> = (0..100).map(|_| vec![1, 2, 3, 4]).collect();
+        let inliers: Vec<Vec<Item>> = (0..1_000).map(|i| vec![(i % 20 + 10) as Item]).collect();
+        let explainer =
+            BatchExplainer::new(ExplanationConfig::new(0.01, 3.0).with_max_combination_size(2));
+        let explanations = explainer.explain(&outliers, &inliers);
+        assert!(explanations.iter().all(|e| e.items.len() <= 2));
+        assert!(explanations.iter().any(|e| e.items.len() == 2));
+    }
+
+    #[test]
+    fn agrees_with_naive_baseline_on_planted_workload() {
+        let (outliers, inliers) = planted_workload(500, 5_000, 0.6);
+        let config = ExplanationConfig::new(0.05, 3.0);
+        let explainer = BatchExplainer::new(config);
+        let mut optimized = explainer.explain(&outliers, &inliers);
+        let mut naive = naive_fpgrowth_explain(&outliers, &inliers, &config);
+        rank_explanations(&mut optimized);
+        rank_explanations(&mut naive);
+        // Both must report the planted pair and its two members at the top.
+        for explanations in [&optimized, &naive] {
+            assert!(explanations.iter().any(|e| e.items == vec![1]));
+            assert!(explanations.iter().any(|e| e.items == vec![2]));
+            assert!(explanations.iter().any(|e| e.items == vec![1, 2]));
+        }
+        // And the optimized strategy reports no combination the naive one
+        // misses (it may legitimately report a superset because the naive
+        // baseline only counts inlier combinations above the inlier support
+        // threshold).
+        let naive_keys: std::collections::HashSet<&Vec<Item>> =
+            naive.iter().map(|e| &e.items).collect();
+        let optimized_with_finite_rr = optimized
+            .iter()
+            .filter(|e| e.stats.risk_ratio.is_finite())
+            .count();
+        let overlap = optimized
+            .iter()
+            .filter(|e| naive_keys.contains(&e.items))
+            .count();
+        assert!(overlap >= optimized_with_finite_rr.min(naive.len()));
+    }
+
+    #[test]
+    fn degenerate_all_points_identical_reports_nothing() {
+        // Every point (and there are no inliers) carries the same attributes:
+        // there is no comparison group, so nothing is reportable.
+        let outliers: Vec<Vec<Item>> = (0..100).map(|_| vec![1, 2]).collect();
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.1, 3.0));
+        let explanations = explainer.explain(&outliers, &[]);
+        assert!(explanations.is_empty());
+    }
+
+    #[test]
+    fn outliers_without_inliers_partial_support_is_reported() {
+        // Half the outliers carry item 1; with no inliers the unexposed group
+        // is the other outliers, so the risk ratio is finite but > 1 only if
+        // the exposed rate exceeds the unexposed rate - here every exposed
+        // point is an outlier and so is every unexposed one, giving ratio 1
+        // and therefore no explanation. Add inliers lacking the item to get a
+        // reportable ratio.
+        let mut outliers: Vec<Vec<Item>> = (0..50).map(|_| vec![1, 2]).collect();
+        outliers.extend((0..50).map(|_| vec![3, 4]));
+        let inliers: Vec<Vec<Item>> = (0..1000).map(|_| vec![3, 4]).collect();
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.1, 3.0));
+        let explanations = explainer.explain(&outliers, &inliers);
+        assert!(explanations.iter().any(|e| e.items == vec![1, 2]));
+        assert!(!explanations.iter().any(|e| e.items == vec![3, 4]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Dictionary encoding of attribute values.
+//!
+//! MacroBase points carry categorical attributes as strings (device ID,
+//! firmware version, ...). The itemset miners work over dense `u32` item
+//! ids, so the explanation layer interns each distinct (attribute column,
+//! value) pair once and translates back when rendering explanations to users.
+
+use mb_fpgrowth::Item;
+use std::collections::HashMap;
+
+/// A decoded attribute: which column it came from and its string value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttributeValue {
+    /// Index of the attribute column in the point schema.
+    pub column: usize,
+    /// The attribute's categorical value.
+    pub value: String,
+}
+
+impl AttributeValue {
+    /// Create an attribute value.
+    pub fn new(column: usize, value: impl Into<String>) -> Self {
+        AttributeValue {
+            column,
+            value: value.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for AttributeValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "attr{}={}", self.column, self.value)
+    }
+}
+
+/// Bidirectional mapping between attribute values and dense item ids.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeEncoder {
+    forward: HashMap<AttributeValue, Item>,
+    reverse: Vec<AttributeValue>,
+    /// Optional human-readable column names for display.
+    column_names: Vec<String>,
+}
+
+impl AttributeEncoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an encoder with named columns (used when rendering).
+    pub fn with_column_names(names: Vec<String>) -> Self {
+        AttributeEncoder {
+            forward: HashMap::new(),
+            reverse: Vec::new(),
+            column_names: names,
+        }
+    }
+
+    /// Intern one (column, value) pair, returning its item id.
+    pub fn encode(&mut self, column: usize, value: &str) -> Item {
+        let key = AttributeValue::new(column, value);
+        if let Some(&item) = self.forward.get(&key) {
+            return item;
+        }
+        let item = self.reverse.len() as Item;
+        self.forward.insert(key.clone(), item);
+        self.reverse.push(key);
+        item
+    }
+
+    /// Encode all attributes of one point (one value per column, in order).
+    pub fn encode_point(&mut self, attributes: &[String]) -> Vec<Item> {
+        attributes
+            .iter()
+            .enumerate()
+            .map(|(column, value)| self.encode(column, value))
+            .collect()
+    }
+
+    /// Look up an item id without interning; `None` if never seen.
+    pub fn lookup(&self, column: usize, value: &str) -> Option<Item> {
+        self.forward.get(&AttributeValue::new(column, value)).copied()
+    }
+
+    /// Decode an item id back to its attribute value.
+    pub fn decode(&self, item: Item) -> Option<&AttributeValue> {
+        self.reverse.get(item as usize)
+    }
+
+    /// Decode a whole itemset into human-readable `column=value` strings.
+    pub fn describe(&self, items: &[Item]) -> Vec<String> {
+        items
+            .iter()
+            .map(|&item| match self.decode(item) {
+                Some(av) => {
+                    let column_name = self
+                        .column_names
+                        .get(av.column)
+                        .cloned()
+                        .unwrap_or_else(|| format!("attr{}", av.column));
+                    format!("{}={}", column_name, av.value)
+                }
+                None => format!("<unknown item {item}>"),
+            })
+            .collect()
+    }
+
+    /// Number of distinct attribute values interned so far.
+    pub fn cardinality(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// The configured column names (may be empty).
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut enc = AttributeEncoder::new();
+        let a = enc.encode(0, "iPhone6");
+        let b = enc.encode(0, "iPhone6");
+        assert_eq!(a, b);
+        assert_eq!(enc.cardinality(), 1);
+    }
+
+    #[test]
+    fn same_value_different_columns_are_distinct() {
+        let mut enc = AttributeEncoder::new();
+        let a = enc.encode(0, "42");
+        let b = enc.encode(1, "42");
+        assert_ne!(a, b);
+        assert_eq!(enc.cardinality(), 2);
+    }
+
+    #[test]
+    fn round_trip_decode() {
+        let mut enc = AttributeEncoder::new();
+        let item = enc.encode(2, "v2.26.3");
+        let decoded = enc.decode(item).unwrap();
+        assert_eq!(decoded.column, 2);
+        assert_eq!(decoded.value, "v2.26.3");
+        assert_eq!(enc.decode(999), None);
+    }
+
+    #[test]
+    fn encode_point_assigns_columns_in_order() {
+        let mut enc = AttributeEncoder::new();
+        let items = enc.encode_point(&["B264".to_string(), "2.26.3".to_string()]);
+        assert_eq!(items.len(), 2);
+        assert_eq!(enc.decode(items[0]).unwrap().column, 0);
+        assert_eq!(enc.decode(items[1]).unwrap().column, 1);
+    }
+
+    #[test]
+    fn describe_uses_column_names() {
+        let mut enc = AttributeEncoder::with_column_names(vec![
+            "device_type".to_string(),
+            "app_version".to_string(),
+        ]);
+        let items = enc.encode_point(&["B264".to_string(), "2.26.3".to_string()]);
+        let described = enc.describe(&items);
+        assert_eq!(described, vec!["device_type=B264", "app_version=2.26.3"]);
+    }
+
+    #[test]
+    fn describe_falls_back_without_names() {
+        let mut enc = AttributeEncoder::new();
+        let item = enc.encode(3, "x");
+        assert_eq!(enc.describe(&[item]), vec!["attr3=x"]);
+        assert_eq!(enc.describe(&[57]), vec!["<unknown item 57>"]);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let enc = AttributeEncoder::new();
+        assert_eq!(enc.lookup(0, "nope"), None);
+        assert_eq!(enc.cardinality(), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Streaming explanation (Section 5.3, right half of Figure 2).
+//!
+//! The streaming explainer maintains, for each class (outlier / inlier):
+//!
+//! * an **AMC sketch** of single attribute-value frequencies, and
+//! * an **M-CPS-tree** of attribute combinations restricted to currently
+//!   frequent items.
+//!
+//! When a labeled point arrives, its attribute items are inserted into the
+//! structures of its class. At each window boundary all counts are decayed
+//! and the trees are pruned/re-sorted. Explanations are produced *on demand*
+//! (the operator acts as a streaming view maintainer): the outlier tree is
+//! mined with FPGrowth, single-item inlier counts come from the inlier AMC,
+//! and combination inlier counts are computed from the (compact) inlier tree.
+
+use crate::risk_ratio::{Explanation, ExplanationStats};
+use crate::ExplanationConfig;
+use mb_fpgrowth::mcps::{McpsConfig, McpsTree};
+use mb_fpgrowth::Item;
+use mb_sketch::amc::{AmcSketch, MaintenancePolicy};
+use mb_sketch::HeavyHitterSketch;
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for the streaming explainer.
+#[derive(Debug, Clone)]
+pub struct StreamingExplainerConfig {
+    /// Thresholds shared with the batch explainer.
+    pub explanation: ExplanationConfig,
+    /// Per-window decay rate applied to all sketches and trees.
+    pub decay_rate: f64,
+    /// Stable size of the AMC sketches (paper default 10K).
+    pub amc_stable_size: usize,
+    /// AMC maintenance period in observations.
+    pub amc_maintenance_period: u64,
+}
+
+impl Default for StreamingExplainerConfig {
+    fn default() -> Self {
+        StreamingExplainerConfig {
+            explanation: ExplanationConfig::default(),
+            decay_rate: 0.01,
+            amc_stable_size: 10_000,
+            amc_maintenance_period: 10_000,
+        }
+    }
+}
+
+/// The MDP streaming explanation operator.
+#[derive(Debug, Clone)]
+pub struct StreamingExplainer {
+    config: StreamingExplainerConfig,
+    outlier_amc: AmcSketch<Item>,
+    inlier_amc: AmcSketch<Item>,
+    outlier_tree: McpsTree,
+    inlier_tree: McpsTree,
+    outlier_count: f64,
+    inlier_count: f64,
+}
+
+impl StreamingExplainer {
+    /// Create a streaming explainer.
+    pub fn new(config: StreamingExplainerConfig) -> Self {
+        let amc = |seed_offset: u64| {
+            let _ = seed_offset;
+            AmcSketch::with_policy(
+                config.amc_stable_size,
+                MaintenancePolicy::EveryNObservations(config.amc_maintenance_period),
+            )
+        };
+        let tree_config = McpsConfig {
+            min_support_fraction: config.explanation.min_support,
+            decay_rate: config.decay_rate,
+            amc_stable_size: config.amc_stable_size,
+            amc_maintenance_period: config.amc_maintenance_period,
+        };
+        StreamingExplainer {
+            outlier_amc: amc(0),
+            inlier_amc: amc(1),
+            outlier_tree: McpsTree::new(tree_config.clone()),
+            inlier_tree: McpsTree::new(tree_config),
+            outlier_count: 0.0,
+            inlier_count: 0.0,
+            config,
+        }
+    }
+
+    /// Create a streaming explainer with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(StreamingExplainerConfig::default())
+    }
+
+    /// Observe one labeled point's attribute items.
+    pub fn observe(&mut self, items: &[Item], is_outlier: bool) {
+        if is_outlier {
+            self.outlier_count += 1.0;
+            for &item in items {
+                self.outlier_amc.observe(item);
+            }
+            self.outlier_tree.insert(items);
+        } else {
+            self.inlier_count += 1.0;
+            for &item in items {
+                self.inlier_amc.observe(item);
+            }
+            self.inlier_tree.insert(items);
+        }
+    }
+
+    /// Close the current window: decay every sketch/tree and prune the trees
+    /// to currently frequent items.
+    pub fn on_window_boundary(&mut self) {
+        let keep = 1.0 - self.config.decay_rate;
+        self.outlier_amc.decay(keep);
+        self.inlier_amc.decay(keep);
+        self.outlier_tree.on_window_boundary();
+        self.inlier_tree.on_window_boundary();
+        self.outlier_count *= keep;
+        self.inlier_count *= keep;
+    }
+
+    /// Current decayed number of outlier points observed.
+    pub fn outlier_count(&self) -> f64 {
+        self.outlier_count
+    }
+
+    /// Current decayed number of inlier points observed.
+    pub fn inlier_count(&self) -> f64 {
+        self.inlier_count
+    }
+
+    /// Produce the current explanations on demand.
+    ///
+    /// Single attribute values are explained directly from the AMC sketches
+    /// (which adapt immediately to newly frequent items); attribute
+    /// *combinations* come from mining the outlier M-CPS-tree, whose item set
+    /// lags by one window boundary by design (Appendix B).
+    pub fn explain(&self) -> Vec<Explanation> {
+        if self.outlier_count <= 0.0 {
+            return Vec::new();
+        }
+        let min_outlier_count =
+            (self.config.explanation.min_support * self.outlier_count).max(1.0);
+
+        // Singles straight from the AMC sketches.
+        let mut mined: Vec<mb_fpgrowth::FrequentItemset> = self
+            .outlier_amc
+            .items_above(min_outlier_count)
+            .into_iter()
+            .map(|(item, count)| mb_fpgrowth::FrequentItemset::new(vec![item], count))
+            .collect();
+        // Combinations from the outlier M-CPS-tree.
+        mined.extend(
+            self.outlier_tree
+                .mine_with_support(
+                    min_outlier_count,
+                    self.config.explanation.max_combination_size,
+                )
+                .into_iter()
+                .filter(|m| m.len() >= 2),
+        );
+        if mined.is_empty() {
+            return Vec::new();
+        }
+
+        // Inlier counts: singles from the inlier AMC, combinations from the
+        // (compact) inlier tree's exported transactions.
+        let combos: Vec<&mb_fpgrowth::FrequentItemset> =
+            mined.iter().filter(|m| m.len() >= 2).collect();
+        let mut combo_inlier_counts: HashMap<&[Item], f64> = HashMap::new();
+        if !combos.is_empty() {
+            let candidate_items: HashSet<Item> = combos
+                .iter()
+                .flat_map(|c| c.items.iter().copied())
+                .collect();
+            let inlier_transactions = self.inlier_tree.mine_with_support(1e-9, usize::MAX);
+            // `mine_with_support` returns every itemset with its exact decayed
+            // support inside the tree; index the ones we need.
+            for itemset in &inlier_transactions {
+                if itemset.len() >= 2
+                    && itemset.items.iter().all(|i| candidate_items.contains(i))
+                {
+                    for combo in &combos {
+                        if combo.items == itemset.items {
+                            combo_inlier_counts
+                                .insert(combo.items.as_slice(), itemset.support);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut explanations = Vec::new();
+        for itemset in &mined {
+            let ai = if itemset.len() == 1 {
+                self.inlier_amc.estimate(&itemset.items[0])
+            } else {
+                combo_inlier_counts
+                    .get(itemset.items.as_slice())
+                    .copied()
+                    .unwrap_or(0.0)
+            };
+            let stats = ExplanationStats::from_counts(
+                itemset.support,
+                ai,
+                self.outlier_count,
+                self.inlier_count,
+            );
+            if stats.risk_ratio >= self.config.explanation.min_risk_ratio {
+                explanations.push(Explanation::new(itemset.items.clone(), stats));
+            }
+        }
+        explanations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::risk_ratio::rank_explanations;
+    use mb_stats::rand_ext::SplitMix64;
+
+    fn config(min_support: f64, min_risk_ratio: f64, decay: f64) -> StreamingExplainerConfig {
+        StreamingExplainerConfig {
+            explanation: ExplanationConfig::new(min_support, min_risk_ratio),
+            decay_rate: decay,
+            amc_stable_size: 1_000,
+            amc_maintenance_period: 1_000,
+        }
+    }
+
+    #[test]
+    fn no_outliers_no_explanations() {
+        let mut explainer = StreamingExplainer::with_defaults();
+        for _ in 0..100 {
+            explainer.observe(&[1, 2], false);
+        }
+        assert!(explainer.explain().is_empty());
+    }
+
+    #[test]
+    fn finds_streaming_planted_combination() {
+        let mut explainer = StreamingExplainer::new(config(0.05, 3.0, 0.0));
+        let mut rng = SplitMix64::new(1);
+        for i in 0..20_000 {
+            if i % 100 == 0 {
+                // 1% outliers, 80% of which carry the planted pair (1, 2).
+                if rng.next_f64() < 0.8 {
+                    explainer.observe(&[1, 2, 100 + ((i / 100) % 10) as Item], true);
+                } else {
+                    explainer.observe(&[50, 60, 100 + ((i / 100) % 10) as Item], true);
+                }
+            } else {
+                explainer.observe(
+                    &[
+                        10 + (rng.next_below(5)) as Item,
+                        20 + (rng.next_below(7)) as Item,
+                        100 + (i % 10) as Item,
+                    ],
+                    false,
+                );
+            }
+            if i % 5_000 == 4_999 {
+                explainer.on_window_boundary();
+            }
+        }
+        let mut explanations = explainer.explain();
+        rank_explanations(&mut explanations);
+        assert!(explanations.iter().any(|e| e.items == vec![1]));
+        assert!(explanations.iter().any(|e| e.items == vec![2]));
+        assert!(
+            explanations.iter().any(|e| e.items == vec![1, 2]),
+            "pair missing from {explanations:?}"
+        );
+        // Attributes shared by both classes must not be reported.
+        assert!(explanations
+            .iter()
+            .all(|e| e.items.iter().all(|&i| i < 100)));
+    }
+
+    #[test]
+    fn common_attributes_have_low_risk_ratio_and_are_filtered() {
+        let mut explainer = StreamingExplainer::new(config(0.01, 3.0, 0.0));
+        for i in 0..10_000 {
+            let shared = 7;
+            if i % 100 == 0 {
+                explainer.observe(&[shared, 1], true);
+            } else {
+                explainer.observe(&[shared, 2], false);
+            }
+        }
+        let explanations = explainer.explain();
+        assert!(explanations.iter().any(|e| e.items == vec![1]));
+        assert!(!explanations.iter().any(|e| e.items == vec![7]));
+    }
+
+    #[test]
+    fn decay_ages_out_old_explanations() {
+        let mut explainer = StreamingExplainer::new(config(0.05, 3.0, 0.5));
+        // Old behaviour: outliers carry item 1.
+        for _ in 0..1_000 {
+            explainer.observe(&[1], true);
+            for _ in 0..10 {
+                explainer.observe(&[30], false);
+            }
+        }
+        // Many boundaries with new behaviour: outliers now carry item 2.
+        for _ in 0..8 {
+            explainer.on_window_boundary();
+            for _ in 0..200 {
+                explainer.observe(&[2], true);
+                for _ in 0..10 {
+                    explainer.observe(&[30], false);
+                }
+            }
+        }
+        let explanations = explainer.explain();
+        let support_of = |items: &[Item]| {
+            explanations
+                .iter()
+                .find(|e| e.items == items)
+                .map(|e| e.stats.outlier_count)
+                .unwrap_or(0.0)
+        };
+        assert!(
+            support_of(&[2]) > support_of(&[1]),
+            "new explanation should dominate: {explanations:?}"
+        );
+    }
+
+    #[test]
+    fn counts_decay_at_boundaries() {
+        let mut explainer = StreamingExplainer::new(config(0.01, 3.0, 0.5));
+        for _ in 0..100 {
+            explainer.observe(&[1], true);
+            explainer.observe(&[2], false);
+        }
+        assert!((explainer.outlier_count() - 100.0).abs() < 1e-9);
+        explainer.on_window_boundary();
+        assert!((explainer.outlier_count() - 50.0).abs() < 1e-9);
+        assert!((explainer.inlier_count() - 50.0).abs() < 1e-9);
+    }
+}

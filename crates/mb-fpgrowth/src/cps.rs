@@ -1,0 +1,445 @@
+//! Streaming frequency-descending prefix trees: the CPS-tree (Tanbeer et
+//! al.), used as the baseline for MacroBase's M-CPS-tree (Appendix B/D).
+//!
+//! A CPS-tree is an FP-tree maintained incrementally over a stream: every
+//! arriving transaction is inserted along the current frequency-descending
+//! item order, and at window boundaries the tree is *restructured* (branch
+//! re-sorted) so that the item order again reflects current frequencies. In
+//! an exponentially damped model the CPS-tree keeps at least one node for
+//! every item ever observed, which is exactly the scalability problem the
+//! M-CPS-tree (see [`crate::mcps`]) fixes by only admitting currently
+//! frequent items.
+
+use crate::fptree::FpTree;
+use crate::{FrequentItemset, Item};
+use std::collections::{HashMap, HashSet};
+
+/// An incrementally maintained, weighted, frequency-descending prefix tree.
+///
+/// This is the structural core shared by the CPS-tree and M-CPS-tree; it
+/// stores transactions compactly along shared prefixes and supports decay,
+/// restructuring, item removal, and FPGrowth mining (by exporting its
+/// contents as weighted transactions).
+#[derive(Debug, Clone)]
+pub struct StreamingPrefixTree {
+    nodes: Vec<PrefixNode>,
+    item_counts: HashMap<Item, f64>,
+    total_weight: f64,
+}
+
+#[derive(Debug, Clone)]
+struct PrefixNode {
+    item: Item,
+    count: f64,
+    parent: usize,
+    children: HashMap<Item, usize>,
+}
+
+const ROOT: usize = 0;
+
+impl Default for StreamingPrefixTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingPrefixTree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        StreamingPrefixTree {
+            nodes: vec![PrefixNode {
+                item: Item::MAX,
+                count: 0.0,
+                parent: usize::MAX,
+                children: HashMap::new(),
+            }],
+            item_counts: HashMap::new(),
+            total_weight: 0.0,
+        }
+    }
+
+    /// Number of nodes excluding the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of distinct items currently present in the tree.
+    pub fn distinct_items(&self) -> usize {
+        self.item_counts.len()
+    }
+
+    /// Total decayed weight of inserted transactions.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Current per-item decayed frequency.
+    pub fn item_count(&self, item: Item) -> f64 {
+        self.item_counts.get(&item).copied().unwrap_or(0.0)
+    }
+
+    /// Insert a transaction with the given weight. Items are deduplicated and
+    /// inserted in the tree's current frequency-descending order.
+    pub fn insert(&mut self, items: &[Item], weight: f64) {
+        assert!(weight > 0.0, "transaction weight must be positive");
+        let mut unique: Vec<Item> = items.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        if unique.is_empty() {
+            return;
+        }
+        for &item in &unique {
+            *self.item_counts.entry(item).or_insert(0.0) += weight;
+        }
+        self.total_weight += weight;
+        // Order by current frequency (descending), ties by item id so the
+        // order is deterministic.
+        unique.sort_by(|a, b| {
+            let ca = self.item_counts.get(a).copied().unwrap_or(0.0);
+            let cb = self.item_counts.get(b).copied().unwrap_or(0.0);
+            cb.partial_cmp(&ca)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+        let mut current = ROOT;
+        for &item in &unique {
+            current = match self.nodes[current].children.get(&item) {
+                Some(&child) => {
+                    self.nodes[child].count += weight;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(PrefixNode {
+                        item,
+                        count: weight,
+                        parent: current,
+                        children: HashMap::new(),
+                    });
+                    self.nodes[current].children.insert(item, idx);
+                    idx
+                }
+            };
+        }
+    }
+
+    /// Multiply every node count, item count, and the total weight by
+    /// `factor` (exponential damping at a window boundary).
+    pub fn decay(&mut self, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "decay factor must be in [0, 1]"
+        );
+        for node in self.nodes.iter_mut().skip(1) {
+            node.count *= factor;
+        }
+        for count in self.item_counts.values_mut() {
+            *count *= factor;
+        }
+        self.total_weight *= factor;
+    }
+
+    /// Export the tree's contents as weighted transactions.
+    pub fn to_weighted_transactions(&self) -> Vec<(Vec<Item>, f64)> {
+        let mut out = Vec::new();
+        for node in self.nodes.iter().skip(1) {
+            let child_sum: f64 = node
+                .children
+                .values()
+                .map(|&c| self.nodes[c].count)
+                .sum();
+            let own = node.count - child_sum;
+            if own > 1e-12 {
+                let mut path = vec![node.item];
+                let mut up = node.parent;
+                while up != ROOT && up != usize::MAX {
+                    path.push(self.nodes[up].item);
+                    up = self.nodes[up].parent;
+                }
+                path.reverse();
+                out.push((path, own));
+            }
+        }
+        out
+    }
+
+    /// Rebuild the tree so every branch is sorted by current (decayed)
+    /// frequency — the CPS-tree's branch-sorting step at a window boundary.
+    pub fn restructure(&mut self) {
+        let transactions = self.to_weighted_transactions();
+        let item_counts = std::mem::take(&mut self.item_counts);
+        *self = StreamingPrefixTree::new();
+        self.item_counts = item_counts;
+        // Re-insert without double-counting item frequencies: temporarily
+        // zero them out and restore through insertions.
+        let preserved = std::mem::take(&mut self.item_counts);
+        for (items, weight) in &transactions {
+            self.insert_with_order(items, *weight, &preserved);
+        }
+        self.item_counts = preserved;
+        self.total_weight = transactions.iter().map(|(_, w)| w).sum();
+    }
+
+    /// Remove every item not contained in `keep`, then restructure.
+    pub fn retain_items(&mut self, keep: &HashSet<Item>) {
+        let transactions = self.to_weighted_transactions();
+        let mut kept_counts: HashMap<Item, f64> = HashMap::new();
+        let mut kept_transactions: Vec<(Vec<Item>, f64)> = Vec::new();
+        let mut total = 0.0;
+        for (items, weight) in transactions {
+            let filtered: Vec<Item> = items
+                .into_iter()
+                .filter(|item| keep.contains(item))
+                .collect();
+            total += weight;
+            if !filtered.is_empty() {
+                for &item in &filtered {
+                    *kept_counts.entry(item).or_insert(0.0) += weight;
+                }
+                kept_transactions.push((filtered, weight));
+            }
+        }
+        *self = StreamingPrefixTree::new();
+        self.item_counts = kept_counts;
+        let order_source = self.item_counts.clone();
+        for (items, weight) in &kept_transactions {
+            self.insert_with_order(items, *weight, &order_source);
+        }
+        // Preserve the stream's total weight (including transactions whose
+        // items were all pruned) so support fractions stay meaningful.
+        self.total_weight = total;
+    }
+
+    /// Insert already-deduplicated items ordered by an external frequency
+    /// table, updating only node counts (not item counts / total weight).
+    fn insert_with_order(
+        &mut self,
+        items: &[Item],
+        weight: f64,
+        order: &HashMap<Item, f64>,
+    ) {
+        let mut unique: Vec<Item> = items.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        unique.sort_by(|a, b| {
+            let ca = order.get(a).copied().unwrap_or(0.0);
+            let cb = order.get(b).copied().unwrap_or(0.0);
+            cb.partial_cmp(&ca)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+        let mut current = ROOT;
+        for &item in &unique {
+            current = match self.nodes[current].children.get(&item) {
+                Some(&child) => {
+                    self.nodes[child].count += weight;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(PrefixNode {
+                        item,
+                        count: weight,
+                        parent: current,
+                        children: HashMap::new(),
+                    });
+                    self.nodes[current].children.insert(item, idx);
+                    idx
+                }
+            };
+        }
+    }
+
+    /// Mine frequent itemsets from the current tree contents via FPGrowth.
+    pub fn mine(&self, min_support: f64, max_size: usize) -> Vec<FrequentItemset> {
+        let transactions = self.to_weighted_transactions();
+        let tree = FpTree::from_weighted_transactions(&transactions, min_support);
+        tree.mine(min_support, max_size)
+    }
+}
+
+/// The CPS-tree: a [`StreamingPrefixTree`] with window-boundary decay and
+/// restructuring, admitting **every** observed item (the Appendix D
+/// baseline).
+#[derive(Debug, Clone)]
+pub struct CpsTree {
+    tree: StreamingPrefixTree,
+    decay_rate: f64,
+}
+
+impl CpsTree {
+    /// Create a CPS-tree with the given per-window decay rate.
+    pub fn new(decay_rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay_rate),
+            "decay rate must be in [0, 1)"
+        );
+        CpsTree {
+            tree: StreamingPrefixTree::new(),
+            decay_rate,
+        }
+    }
+
+    /// Insert one transaction (a point's attribute items) with unit weight.
+    pub fn insert(&mut self, items: &[Item]) {
+        if !items.is_empty() {
+            self.tree.insert(items, 1.0);
+        }
+    }
+
+    /// Close the current window: decay all counts and restructure branches
+    /// into frequency-descending order.
+    pub fn on_window_boundary(&mut self) {
+        self.tree.decay(1.0 - self.decay_rate);
+        self.tree.restructure();
+    }
+
+    /// Mine itemsets with at least `min_support` (decayed count).
+    pub fn mine(&self, min_support: f64, max_size: usize) -> Vec<FrequentItemset> {
+        self.tree.mine(min_support, max_size)
+    }
+
+    /// Access the underlying prefix tree (for size comparisons in benches).
+    pub fn tree(&self) -> &StreamingPrefixTree {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort_canonical;
+
+    #[test]
+    fn insert_and_counts() {
+        let mut tree = StreamingPrefixTree::new();
+        tree.insert(&[1, 2], 1.0);
+        tree.insert(&[1, 3], 1.0);
+        tree.insert(&[1, 2, 3], 1.0);
+        assert_eq!(tree.distinct_items(), 3);
+        assert!((tree.item_count(1) - 3.0).abs() < 1e-12);
+        assert!((tree.item_count(2) - 2.0).abs() < 1e-12);
+        assert!((tree.total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_transaction_is_ignored() {
+        let mut tree = StreamingPrefixTree::new();
+        tree.insert(&[], 1.0);
+        assert_eq!(tree.node_count(), 0);
+        assert_eq!(tree.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn decay_scales_everything() {
+        let mut tree = StreamingPrefixTree::new();
+        tree.insert(&[1, 2], 4.0);
+        tree.decay(0.25);
+        assert!((tree.item_count(1) - 1.0).abs() < 1e-12);
+        assert!((tree.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_round_trips_weight() {
+        let mut tree = StreamingPrefixTree::new();
+        tree.insert(&[1, 2, 3], 1.0);
+        tree.insert(&[1, 2], 2.0);
+        tree.insert(&[4], 0.5);
+        let exported = tree.to_weighted_transactions();
+        let total: f64 = exported.iter().map(|(_, w)| w).sum();
+        assert!((total - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mining_matches_batch_fpgrowth() {
+        use crate::fptree::FpTree;
+        let transactions = vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ];
+        let mut stream_tree = StreamingPrefixTree::new();
+        for t in &transactions {
+            stream_tree.insert(t, 1.0);
+        }
+        let mut streamed = stream_tree.mine(2.0, usize::MAX);
+        let batch = FpTree::from_transactions(&transactions, 2.0);
+        let mut batched = batch.mine(2.0, usize::MAX);
+        sort_canonical(&mut streamed);
+        sort_canonical(&mut batched);
+        assert_eq!(streamed.len(), batched.len());
+        for (s, b) in streamed.iter().zip(batched.iter()) {
+            assert_eq!(s.items, b.items);
+            assert!((s.support - b.support).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn restructure_preserves_mining_results() {
+        let mut tree = StreamingPrefixTree::new();
+        // Insert in an order that makes early frequency order "wrong".
+        for _ in 0..5 {
+            tree.insert(&[9, 1], 1.0);
+        }
+        for _ in 0..50 {
+            tree.insert(&[1, 2], 1.0);
+        }
+        let mut before = tree.mine(3.0, usize::MAX);
+        tree.restructure();
+        let mut after = tree.mine(3.0, usize::MAX);
+        sort_canonical(&mut before);
+        sort_canonical(&mut after);
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert_eq!(b.items, a.items);
+            assert!((b.support - a.support).abs() < 1e-9);
+        }
+        // Restructuring never grows the tree.
+        assert!(tree.node_count() <= 4 + 2);
+    }
+
+    #[test]
+    fn retain_items_drops_pruned_items() {
+        let mut tree = StreamingPrefixTree::new();
+        tree.insert(&[1, 2], 5.0);
+        tree.insert(&[1, 3], 1.0);
+        let keep: HashSet<Item> = [1, 2].into_iter().collect();
+        tree.retain_items(&keep);
+        assert_eq!(tree.item_count(3), 0.0);
+        assert!(tree.item_count(1) > 0.0);
+        let mined = tree.mine(1.0, usize::MAX);
+        assert!(mined.iter().all(|r| !r.items.contains(&3)));
+        // Total weight still reflects all observed transactions.
+        assert!((tree.total_weight() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cps_tree_window_lifecycle() {
+        let mut cps = CpsTree::new(0.5);
+        for _ in 0..100 {
+            cps.insert(&[1, 2]);
+        }
+        cps.on_window_boundary();
+        for _ in 0..10 {
+            cps.insert(&[3, 4]);
+        }
+        let mined = cps.mine(5.0, 2);
+        // Old pattern decayed to 50 (still above), new pattern at 10.
+        assert!(mined.iter().any(|r| r.items == vec![1, 2]));
+        assert!(mined.iter().any(|r| r.items == vec![3, 4]));
+        // CPS keeps every item ever seen.
+        assert_eq!(cps.tree().distinct_items(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay rate must be in [0, 1)")]
+    fn cps_rejects_bad_decay() {
+        let _ = CpsTree::new(1.0);
+    }
+}

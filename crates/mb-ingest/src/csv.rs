@@ -1,0 +1,270 @@
+//! Minimal CSV ingestion.
+//!
+//! MacroBase's reference implementation ingests from JDBC/CSV sources; this
+//! module provides the CSV path. The reader handles the common cases the
+//! evaluation data needs — headers, configurable delimiter, quoted fields —
+//! and maps named columns onto metrics and attributes, skipping rows whose
+//! metric cells fail to parse (with a count of how many were skipped).
+
+use crate::Record;
+use std::io::BufRead;
+
+/// Errors produced by CSV ingestion.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input had no header row.
+    MissingHeader,
+    /// A requested column name was not present in the header.
+    UnknownColumn(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Configuration of a CSV ingestion query: which columns are metrics and
+/// which are attributes.
+#[derive(Debug, Clone)]
+pub struct CsvQuery {
+    /// Names of the metric columns (parsed as `f64`).
+    pub metric_columns: Vec<String>,
+    /// Names of the attribute columns (kept as strings).
+    pub attribute_columns: Vec<String>,
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+}
+
+impl CsvQuery {
+    /// Create a query over the given metric and attribute column names.
+    pub fn new(metric_columns: Vec<String>, attribute_columns: Vec<String>) -> Self {
+        CsvQuery {
+            metric_columns,
+            attribute_columns,
+            delimiter: ',',
+        }
+    }
+}
+
+/// Result of ingesting a CSV source.
+#[derive(Debug)]
+pub struct CsvIngestResult {
+    /// Successfully parsed records.
+    pub records: Vec<Record>,
+    /// Number of data rows skipped because a metric failed to parse or a
+    /// column was missing.
+    pub skipped_rows: usize,
+}
+
+/// Split one CSV line honoring double-quoted fields.
+fn split_line(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+/// Ingest CSV data from any buffered reader according to `query`.
+pub fn ingest_csv<R: BufRead>(reader: R, query: &CsvQuery) -> Result<CsvIngestResult, CsvError> {
+    let mut lines = reader.lines();
+    let header_line = lines.next().ok_or(CsvError::MissingHeader)??;
+    let header: Vec<String> = split_line(&header_line, query.delimiter)
+        .into_iter()
+        .map(|h| h.trim().to_string())
+        .collect();
+    let find = |name: &String| -> Result<usize, CsvError> {
+        header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| CsvError::UnknownColumn(name.clone()))
+    };
+    let metric_idx: Vec<usize> = query
+        .metric_columns
+        .iter()
+        .map(find)
+        .collect::<Result<_, _>>()?;
+    let attribute_idx: Vec<usize> = query
+        .attribute_columns
+        .iter()
+        .map(find)
+        .collect::<Result<_, _>>()?;
+
+    let mut records = Vec::new();
+    let mut skipped_rows = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(&line, query.delimiter);
+        let mut metrics = Vec::with_capacity(metric_idx.len());
+        let mut ok = true;
+        for &idx in &metric_idx {
+            match fields.get(idx).and_then(|f| f.trim().parse::<f64>().ok()) {
+                Some(v) if v.is_finite() => metrics.push(v),
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            skipped_rows += 1;
+            continue;
+        }
+        let mut attributes = Vec::with_capacity(attribute_idx.len());
+        for &idx in &attribute_idx {
+            match fields.get(idx) {
+                Some(value) => attributes.push(value.trim().to_string()),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            skipped_rows += 1;
+            continue;
+        }
+        records.push(Record::new(metrics, attributes));
+    }
+    Ok(CsvIngestResult {
+        records,
+        skipped_rows,
+    })
+}
+
+/// Ingest a CSV string (convenience for tests and examples).
+pub fn ingest_csv_str(data: &str, query: &CsvQuery) -> Result<CsvIngestResult, CsvError> {
+    ingest_csv(std::io::Cursor::new(data), query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+device_id,app_version,power_drain,trip_time
+B264,2.26.3,85.5,1200
+B101,2.26.3,12.0,900
+B264,2.25.0,13.5,1100
+";
+
+    fn query() -> CsvQuery {
+        CsvQuery::new(
+            vec!["power_drain".to_string()],
+            vec!["device_id".to_string(), "app_version".to_string()],
+        )
+    }
+
+    #[test]
+    fn parses_basic_file() {
+        let result = ingest_csv_str(SAMPLE, &query()).unwrap();
+        assert_eq!(result.records.len(), 3);
+        assert_eq!(result.skipped_rows, 0);
+        assert_eq!(result.records[0].metrics, vec![85.5]);
+        assert_eq!(
+            result.records[0].attributes,
+            vec!["B264".to_string(), "2.26.3".to_string()]
+        );
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let bad = CsvQuery::new(vec!["nonexistent".to_string()], vec![]);
+        assert!(matches!(
+            ingest_csv_str(SAMPLE, &bad),
+            Err(CsvError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(
+            ingest_csv_str("", &query()),
+            Err(CsvError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn unparseable_metrics_are_skipped_and_counted() {
+        let data = "\
+device_id,app_version,power_drain,trip_time
+B264,2.26.3,not_a_number,1200
+B101,2.26.3,12.0,900
+B102,2.26.3,NaN,900
+";
+        let result = ingest_csv_str(data, &query()).unwrap();
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.skipped_rows, 2);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters() {
+        let data = "\
+name,amount
+\"Smith, John\",100.5
+\"He said \"\"hi\"\"\",3.0
+";
+        let q = CsvQuery::new(vec!["amount".to_string()], vec!["name".to_string()]);
+        let result = ingest_csv_str(data, &q).unwrap();
+        assert_eq!(result.records.len(), 2);
+        assert_eq!(result.records[0].attributes[0], "Smith, John");
+        assert_eq!(result.records[1].attributes[0], "He said \"hi\"");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let data = "a,b\n1.0,x\n\n2.0,y\n";
+        let q = CsvQuery::new(vec!["a".to_string()], vec!["b".to_string()]);
+        let result = ingest_csv_str(data, &q).unwrap();
+        assert_eq!(result.records.len(), 2);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let data = "a|b\n1.5|x\n";
+        let mut q = CsvQuery::new(vec!["a".to_string()], vec!["b".to_string()]);
+        q.delimiter = '|';
+        let result = ingest_csv_str(data, &q).unwrap();
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.records[0].metrics, vec![1.5]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Ingestion and synthetic workload generation for MacroBase-RS.
+//!
+//! MacroBase ingests external data sources into streams of points — pairs of
+//! real-valued metrics and categorical attributes (Section 3.2, stage 1).
+//! The paper's evaluation additionally relies on several synthetic and
+//! real-world workloads that are not redistributable, so this crate provides:
+//!
+//! * [`csv`] — a small CSV reader that maps columns to metrics/attributes.
+//! * [`synthetic`] — the controlled workloads of the evaluation: the device
+//!   workload of Figure 4, the contamination data of Figure 3, the
+//!   time-varying stream of Figure 5, and Zipfian attribute streams for the
+//!   heavy-hitter comparison of Figure 6.
+//! * [`datasets`] — simulated stand-ins for the six large-scale datasets of
+//!   Table 2 (CMT, Telecom, Liquor, Campaign, Accidents, Disburse) matching
+//!   their reported row counts, metric/attribute arities, and attribute
+//!   cardinalities (scaled by a configurable factor).
+//! * [`dbsherlock`] — a generator for the DBSherlock-style OLTP anomaly
+//!   workload of Table 4 (11-server clusters, 200+ correlated performance
+//!   counters, nine anomaly types).
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod datasets;
+pub mod dbsherlock;
+pub mod synthetic;
+
+/// One ingested record: the raw form of a MacroBase point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Real-valued measurements (e.g. trip time, battery drain).
+    pub metrics: Vec<f64>,
+    /// Categorical metadata (e.g. user ID, device ID), one value per
+    /// attribute column.
+    pub attributes: Vec<String>,
+}
+
+impl Record {
+    /// Create a record.
+    pub fn new(metrics: Vec<f64>, attributes: Vec<String>) -> Self {
+        Record {
+            metrics,
+            attributes,
+        }
+    }
+}
+
+/// A labeled record used by accuracy experiments (the generator knows which
+/// points were drawn from the anomalous regime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledRecord {
+    /// The record itself.
+    pub record: Record,
+    /// Whether the generator intended this point to be anomalous.
+    pub is_anomalous: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_construction() {
+        let r = Record::new(vec![1.0, 2.0], vec!["a".to_string()]);
+        assert_eq!(r.metrics.len(), 2);
+        assert_eq!(r.attributes.len(), 1);
+    }
+}

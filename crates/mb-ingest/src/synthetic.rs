@@ -1,0 +1,352 @@
+//! Synthetic workload generators used by the evaluation (Section 6.1 and
+//! Appendix A/D).
+
+use crate::{LabeledRecord, Record};
+use mb_stats::rand_ext::{normal, SplitMix64, Zipf};
+
+/// Configuration of the device workload used for the precision/recall study
+/// of Figure 4 (and the accuracy claims of Section 6.1).
+///
+/// The dataset contains `num_points` readings from `num_devices` devices.
+/// A fraction of devices are designated *outlying*: their readings are drawn
+/// from the outlier distribution `N(70, 10)`, while all other devices draw
+/// from the inlier distribution `N(10, 10)`. Two kinds of noise can be
+/// injected: **label noise** (readings swapped between inlying and outlying
+/// devices) and **measurement noise** (readings replaced with uniform values
+/// over `[0, 80]`).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceWorkloadConfig {
+    /// Total number of points (paper: 1M).
+    pub num_points: usize,
+    /// Total number of devices (paper: 6400, 12800, 25600).
+    pub num_devices: usize,
+    /// Fraction of devices that misbehave (draw from the outlier
+    /// distribution).
+    pub outlying_device_fraction: f64,
+    /// Fraction of readings whose device assignment is swapped between the
+    /// inlier and outlier populations ("label noise").
+    pub label_noise: f64,
+    /// Fraction of readings replaced by uniform noise over `[0, 80]`
+    /// ("measurement noise").
+    pub measurement_noise: f64,
+    /// Mean/std of the inlier metric distribution (paper: N(10, 10)).
+    pub inlier_mean: f64,
+    /// Standard deviation of the inlier distribution.
+    pub inlier_std: f64,
+    /// Mean of the outlier metric distribution (paper: N(70, 10)).
+    pub outlier_mean: f64,
+    /// Standard deviation of the outlier distribution.
+    pub outlier_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeviceWorkloadConfig {
+    fn default() -> Self {
+        DeviceWorkloadConfig {
+            num_points: 100_000,
+            num_devices: 6_400,
+            outlying_device_fraction: 0.01,
+            label_noise: 0.0,
+            measurement_noise: 0.0,
+            inlier_mean: 10.0,
+            inlier_std: 10.0,
+            outlier_mean: 70.0,
+            outlier_std: 10.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated device workload plus ground truth for accuracy scoring.
+#[derive(Debug, Clone)]
+pub struct DeviceWorkload {
+    /// The generated points: one metric (the reading) and one attribute
+    /// (`device_id`).
+    pub records: Vec<LabeledRecord>,
+    /// Device ids designated as outlying (ground truth for Figure 4's
+    /// F1-score computation).
+    pub outlying_devices: Vec<String>,
+}
+
+/// Generate the Figure 4 device workload.
+pub fn device_workload(config: &DeviceWorkloadConfig) -> DeviceWorkload {
+    assert!(config.num_devices > 0, "need at least one device");
+    let mut rng = SplitMix64::new(config.seed);
+    let num_outlying = ((config.num_devices as f64 * config.outlying_device_fraction).round()
+        as usize)
+        .max(1)
+        .min(config.num_devices);
+    let outlying_devices: Vec<String> = (0..num_outlying).map(|d| format!("device_{d}")).collect();
+
+    let mut records = Vec::with_capacity(config.num_points);
+    for _ in 0..config.num_points {
+        let device = rng.next_below(config.num_devices);
+        let device_is_outlying = device < num_outlying;
+        // Label noise: swap which population the reading is drawn from.
+        let draw_outlying = if rng.next_f64() < config.label_noise {
+            !device_is_outlying
+        } else {
+            device_is_outlying
+        };
+        let mut value = if draw_outlying {
+            normal(&mut rng, config.outlier_mean, config.outlier_std)
+        } else {
+            normal(&mut rng, config.inlier_mean, config.inlier_std)
+        };
+        // Measurement noise: replace the reading with uniform garbage.
+        if rng.next_f64() < config.measurement_noise {
+            value = rng.next_f64() * 80.0;
+        }
+        records.push(LabeledRecord {
+            record: Record::new(vec![value], vec![format!("device_{device}")]),
+            is_anomalous: device_is_outlying,
+        });
+    }
+    DeviceWorkload {
+        records,
+        outlying_devices,
+    }
+}
+
+/// F1 score of a set of reported device ids against the ground truth.
+pub fn device_f1_score(reported: &[String], ground_truth: &[String]) -> f64 {
+    use std::collections::HashSet;
+    let reported: HashSet<&String> = reported.iter().collect();
+    let truth: HashSet<&String> = ground_truth.iter().collect();
+    if reported.is_empty() && truth.is_empty() {
+        return 1.0;
+    }
+    if reported.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    let tp = reported.intersection(&truth).count() as f64;
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / reported.len() as f64;
+    let recall = tp / truth.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// The contamination dataset of Figure 3 / Appendix A: `n` two-dimensional
+/// points, a `contamination` fraction of which are drawn from a uniform
+/// cluster of radius 50 centred at (1000, 1000) while the rest are uniform
+/// with radius 50 around the origin. Returns `(points, is_outlier)`.
+pub fn contamination_dataset(
+    n: usize,
+    contamination: f64,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<bool>) {
+    assert!((0.0..=1.0).contains(&contamination));
+    let mut rng = SplitMix64::new(seed);
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let is_outlier = rng.next_f64() < contamination;
+        let (cx, cy) = if is_outlier { (1000.0, 1000.0) } else { (0.0, 0.0) };
+        // Uniform point in a disc of radius 50.
+        let angle = rng.next_f64() * 2.0 * std::f64::consts::PI;
+        let radius = 50.0 * rng.next_f64().sqrt();
+        points.push(vec![cx + radius * angle.cos(), cy + radius * angle.sin()]);
+        labels.push(is_outlier);
+    }
+    (points, labels)
+}
+
+/// One event of the time-varying adaptivity stream of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedReading {
+    /// Simulated arrival time in seconds from the start of the experiment.
+    pub time_seconds: f64,
+    /// The emitting device's id attribute.
+    pub device: String,
+    /// The metric reading.
+    pub value: f64,
+}
+
+/// Generate the scripted 400-second stream of Figure 5.
+///
+/// * 0–50 s: all 100 devices emit `N(10, 10)`.
+/// * 50–100 s: device `D0` emits `N(70, 10)` (first anomaly), others unchanged.
+/// * 100–150 s: back to normal.
+/// * 150–225 s: every device shifts to `N(40, 10)`.
+/// * 225–250 s: `D0` drops to `N(−10, 10)` (second anomaly).
+/// * 250–300 s: back to `N(40, 10)`.
+/// * 300–400 s: baseline continues, except 320–324 s where the arrival rate
+///   rises tenfold and the extra readings are drawn from `N(85, 15)` (the
+///   noise spike that trips per-tuple damped samplers).
+///
+/// `base_rate` is the number of points generated per simulated second at the
+/// normal arrival rate (the paper's deployment sees ~20K/s; benches scale
+/// this down so the experiment stays laptop-sized).
+pub fn adaptivity_stream(base_rate: usize, seed: u64) -> Vec<TimedReading> {
+    let mut rng = SplitMix64::new(seed);
+    let num_devices = 100usize;
+    let mut out = Vec::new();
+    let total_seconds = 400usize;
+    for second in 0..total_seconds {
+        let t = second as f64;
+        let spike = (320..324).contains(&second);
+        let rate = if spike { base_rate * 10 } else { base_rate };
+        for i in 0..rate {
+            let device = rng.next_below(num_devices);
+            let is_d0 = device == 0;
+            let value = if spike && i >= base_rate {
+                // The burst itself carries noisy high readings.
+                normal(&mut rng, 85.0, 15.0)
+            } else if (50..100).contains(&second) && is_d0 {
+                normal(&mut rng, 70.0, 10.0)
+            } else if (225..250).contains(&second) && is_d0 {
+                normal(&mut rng, -10.0, 10.0)
+            } else if (150..300).contains(&second) {
+                normal(&mut rng, 40.0, 10.0)
+            } else {
+                normal(&mut rng, 10.0, 10.0)
+            };
+            out.push(TimedReading {
+                time_seconds: t + i as f64 / rate as f64,
+                device: format!("D{device}"),
+                value,
+            });
+        }
+    }
+    out
+}
+
+/// A Zipf-distributed attribute stream shaped like the heavy-hitter workloads
+/// of Figure 6: `n` items drawn from `cardinality` distinct values with skew
+/// `s` (production attribute streams such as device ids are highly skewed).
+pub fn zipf_attribute_stream(n: usize, cardinality: usize, s: f64, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    let zipf = Zipf::new(cardinality, s);
+    (0..n).map(|_| zipf.sample(&mut rng) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_workload_has_expected_shape() {
+        let config = DeviceWorkloadConfig {
+            num_points: 10_000,
+            num_devices: 100,
+            outlying_device_fraction: 0.05,
+            ..DeviceWorkloadConfig::default()
+        };
+        let workload = device_workload(&config);
+        assert_eq!(workload.records.len(), 10_000);
+        assert_eq!(workload.outlying_devices.len(), 5);
+        // Roughly 5% of points are anomalous (they come from 5% of devices).
+        let anomalous = workload.records.iter().filter(|r| r.is_anomalous).count();
+        assert!((300..700).contains(&anomalous), "anomalous = {anomalous}");
+        // Anomalous points have much higher readings on average.
+        let mean_of = |flag: bool| {
+            let values: Vec<f64> = workload
+                .records
+                .iter()
+                .filter(|r| r.is_anomalous == flag)
+                .map(|r| r.record.metrics[0])
+                .collect();
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        assert!(mean_of(true) > 60.0);
+        assert!(mean_of(false) < 15.0);
+    }
+
+    #[test]
+    fn device_workload_is_deterministic() {
+        let config = DeviceWorkloadConfig {
+            num_points: 1_000,
+            num_devices: 50,
+            ..DeviceWorkloadConfig::default()
+        };
+        let a = device_workload(&config);
+        let b = device_workload(&config);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn label_noise_mixes_populations() {
+        let mut config = DeviceWorkloadConfig {
+            num_points: 20_000,
+            num_devices: 100,
+            outlying_device_fraction: 0.1,
+            ..DeviceWorkloadConfig::default()
+        };
+        config.label_noise = 0.5;
+        let noisy = device_workload(&config);
+        // With 50% label noise the anomalous devices' mean reading is pulled
+        // toward the middle.
+        let anomalous_mean = {
+            let values: Vec<f64> = noisy
+                .records
+                .iter()
+                .filter(|r| r.is_anomalous)
+                .map(|r| r.record.metrics[0])
+                .collect();
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        assert!(anomalous_mean > 25.0 && anomalous_mean < 55.0);
+    }
+
+    #[test]
+    fn f1_score_behaviour() {
+        let truth = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(device_f1_score(&truth.clone(), &truth), 1.0);
+        assert_eq!(device_f1_score(&[], &truth), 0.0);
+        assert_eq!(device_f1_score(&["c".to_string()], &truth), 0.0);
+        // One of two recovered, no false positives: P=1, R=0.5, F1=2/3.
+        let partial = device_f1_score(&["a".to_string()], &truth);
+        assert!((partial - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(device_f1_score(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn contamination_dataset_shape() {
+        let (points, labels) = contamination_dataset(10_000, 0.3, 7);
+        assert_eq!(points.len(), 10_000);
+        let outliers = labels.iter().filter(|&&o| o).count();
+        assert!((2_500..3_500).contains(&outliers));
+        for (p, &is_outlier) in points.iter().zip(labels.iter()) {
+            let (cx, cy) = if is_outlier { (1000.0, 1000.0) } else { (0.0, 0.0) };
+            let dist = ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sqrt();
+            assert!(dist <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn adaptivity_stream_follows_script() {
+        let stream = adaptivity_stream(20, 3);
+        // Total points: 400s * 20/s plus the 4-second tenfold burst.
+        assert_eq!(stream.len(), 400 * 20 + 4 * 180);
+        // During 50-100s, D0 readings are high.
+        let d0_mean = |from: f64, to: f64| {
+            let values: Vec<f64> = stream
+                .iter()
+                .filter(|r| r.device == "D0" && r.time_seconds >= from && r.time_seconds < to)
+                .map(|r| r.value)
+                .collect();
+            values.iter().sum::<f64>() / values.len().max(1) as f64
+        };
+        assert!(d0_mean(55.0, 95.0) > 50.0);
+        assert!(d0_mean(105.0, 145.0) < 30.0);
+        assert!(d0_mean(228.0, 248.0) < 10.0);
+        // Arrival rate spikes tenfold during the burst window.
+        let burst_points = stream
+            .iter()
+            .filter(|r| r.time_seconds >= 320.0 && r.time_seconds < 324.0)
+            .count();
+        assert_eq!(burst_points, 4 * 200);
+    }
+
+    #[test]
+    fn zipf_stream_is_skewed() {
+        let stream = zipf_attribute_stream(50_000, 1000, 1.2, 5);
+        assert_eq!(stream.len(), 50_000);
+        let zeros = stream.iter().filter(|&&x| x == 0).count();
+        let hundreds = stream.iter().filter(|&&x| x == 100).count();
+        assert!(zeros > hundreds * 5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Streaming sketches and samplers for MacroBase-RS.
+//!
+//! This crate implements the paper's two novel data structures plus the
+//! baselines they are evaluated against:
+//!
+//! * [`adr`] — the **Adaptable Damped Reservoir** (Algorithm 1), an
+//!   exponentially damped reservoir sampler that decays over *arbitrary*
+//!   windows (time- or batch-based) rather than per tuple.
+//! * [`reservoir`] — classic uniform reservoir sampling (Vitter), the
+//!   non-adaptive baseline in Figure 5.
+//! * [`biased`] — per-tuple exponentially biased reservoir sampling
+//!   (Aggarwal), the tuple-at-a-time decay baseline in Figure 5.
+//! * [`amc`] — the **Amortized Maintenance Counter** (Algorithm 3), a
+//!   heavy-hitters sketch with O(1) updates and amortized maintenance.
+//! * [`spacesaving`] — the SpaceSaving heavy-hitters sketch in its list and
+//!   hash/heap variants, the baselines of Figure 6.
+//! * [`quantile`] — reservoir-backed streaming quantile estimation used for
+//!   MDP's percentile threshold (Section 4.2).
+//!
+//! All heavy-hitter sketches implement [`HeavyHitterSketch`], and all
+//! samplers implement [`StreamSampler`], so the classification and
+//! explanation layers can swap implementations (this is how the Figure 5 and
+//! Figure 6 comparisons are run).
+
+#![warn(missing_docs)]
+
+pub mod adr;
+pub mod amc;
+pub mod biased;
+pub mod quantile;
+pub mod reservoir;
+pub mod spacesaving;
+
+use std::hash::Hash;
+
+/// A streaming sampler over items of type `T`.
+///
+/// Samplers observe a (possibly weighted) stream and maintain a bounded
+/// in-memory sample. Damped samplers additionally expose [`decay`], which
+/// down-weights history; undamped samplers implement it as a no-op.
+///
+/// [`decay`]: StreamSampler::decay
+pub trait StreamSampler<T> {
+    /// Observe one item with unit weight.
+    fn observe(&mut self, item: T) {
+        self.observe_weighted(item, 1.0);
+    }
+
+    /// Observe one item with the given weight.
+    fn observe_weighted(&mut self, item: T, weight: f64);
+
+    /// Apply one decay step (meaning depends on the sampler's decay policy).
+    fn decay(&mut self);
+
+    /// The current sample contents.
+    fn sample(&self) -> &[T];
+
+    /// Maximum number of retained items.
+    fn capacity(&self) -> usize;
+
+    /// Number of items currently retained.
+    fn len(&self) -> usize {
+        self.sample().len()
+    }
+
+    /// Whether the sample is currently empty.
+    fn is_empty(&self) -> bool {
+        self.sample().is_empty()
+    }
+}
+
+/// An approximate counter of item frequencies over a stream (heavy hitters).
+///
+/// Implementations guarantee that the estimated count of any item is within
+/// an additive error bound of its true (possibly decayed) count; the bound
+/// depends on the sketch and its configured size.
+pub trait HeavyHitterSketch<T: Eq + Hash + Clone> {
+    /// Observe one occurrence of `item`.
+    fn observe(&mut self, item: T) {
+        self.observe_count(item, 1.0);
+    }
+
+    /// Observe `count` occurrences of `item`.
+    fn observe_count(&mut self, item: T, count: f64);
+
+    /// Estimated (possibly decayed) count for `item`; `0.0` if never seen or
+    /// since evicted.
+    fn estimate(&self, item: &T) -> f64;
+
+    /// Multiply all retained counts by `factor` (exponential damping).
+    fn decay(&mut self, factor: f64);
+
+    /// All currently tracked items with their estimated counts.
+    fn entries(&self) -> Vec<(T, f64)>;
+
+    /// Items whose estimated count is at least `threshold`, sorted by
+    /// decreasing count.
+    fn items_above(&self, threshold: f64) -> Vec<(T, f64)> {
+        let mut out: Vec<(T, f64)> = self
+            .entries()
+            .into_iter()
+            .filter(|(_, c)| *c >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Total weight observed (after decay), used to turn counts into support
+    /// fractions.
+    fn total_weight(&self) -> f64;
+
+    /// Number of items currently tracked by the sketch.
+    fn tracked_items(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amc::AmcSketch;
+
+    #[test]
+    fn items_above_sorts_descending() {
+        let mut sketch = AmcSketch::new(100, 1000);
+        for _ in 0..5 {
+            sketch.observe("a");
+        }
+        for _ in 0..10 {
+            sketch.observe("b");
+        }
+        sketch.observe("c");
+        let top = sketch.items_above(2.0);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "b");
+        assert_eq!(top[1].0, "a");
+    }
+}

@@ -1,0 +1,617 @@
+//! A small, dependency-free dense matrix type.
+//!
+//! FastMCD (Section 4.1 / Appendix A) needs covariance matrices, their
+//! determinants, and their inverses for Mahalanobis distances. MacroBase
+//! queries have at most a few dozen metrics, so a straightforward row-major
+//! `Vec<f64>` with LU decomposition is more than fast enough and avoids
+//! pulling a linear-algebra dependency into the workspace.
+
+use crate::{Result, StatsError};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major vector. Panics if the length does not
+    /// equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length must equal rows * cols"
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix from nested row slices.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(StatsError::DimensionMismatch {
+                    expected: ncols,
+                    actual: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix-matrix product. Returns an error on incompatible shapes.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.cols,
+                actual: v.len(),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            out[i] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Scale every entry by a constant.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Element-wise addition. Returns an error on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.rows * self.cols,
+                actual: other.rows * other.cols,
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// LU decomposition with partial pivoting (Doolittle).
+    ///
+    /// Returns `(lu, perm, sign)` where `lu` stores L (unit diagonal,
+    /// below) and U (on and above the diagonal), `perm` is the row
+    /// permutation, and `sign` is the permutation parity (+1/-1). Returns an
+    /// error for non-square or numerically singular matrices.
+    fn lu_decompose(&self) -> Result<(Matrix, Vec<usize>, f64)> {
+        if !self.is_square() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for col in 0..n {
+            // Partial pivot: find the largest |value| in this column.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(StatsError::SingularMatrix);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(col, col)];
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] / pivot;
+                lu[(r, col)] = factor;
+                for j in (col + 1)..n {
+                    let delta = factor * lu[(col, j)];
+                    lu[(r, j)] -= delta;
+                }
+            }
+        }
+        Ok((lu, perm, sign))
+    }
+
+    /// Determinant via LU decomposition. Returns 0.0 for singular matrices.
+    pub fn determinant(&self) -> Result<f64> {
+        match self.lu_decompose() {
+            Ok((lu, _, sign)) => {
+                let mut det = sign;
+                for i in 0..self.rows {
+                    det *= lu[(i, i)];
+                }
+                Ok(det)
+            }
+            Err(StatsError::SingularMatrix) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Log-determinant (natural log of |det|) via LU; numerically preferable
+    /// to `determinant()` for high-dimensional covariance matrices whose
+    /// determinant under/overflows. Returns an error if singular.
+    pub fn log_abs_determinant(&self) -> Result<f64> {
+        let (lu, _, _) = self.lu_decompose()?;
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            let d = lu[(i, i)].abs();
+            if d <= 0.0 {
+                return Err(StatsError::SingularMatrix);
+            }
+            acc += d.ln();
+        }
+        Ok(acc)
+    }
+
+    /// Solve `A x = b` via the LU decomposition of `self`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let (lu, perm, _) = self.lu_decompose()?;
+        let n = self.rows;
+        // Forward substitution on the permuted RHS (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[perm[i]];
+            for j in 0..i {
+                acc -= lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Backward substitution through U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= lu[(i, j)] * x[j];
+            }
+            x[i] = acc / lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via LU decomposition (column-by-column solve).
+    pub fn inverse(&self) -> Result<Matrix> {
+        if !self.is_square() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        let mut unit = vec![0.0; n];
+        for col in 0..n {
+            unit.iter_mut().for_each(|v| *v = 0.0);
+            unit[col] = 1.0;
+            let x = self.solve(&unit)?;
+            for row in 0..n {
+                out[(row, col)] = x[row];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cholesky decomposition of a symmetric positive-definite matrix,
+    /// returning the lower-triangular factor `L` such that `L Lᵀ = A`.
+    pub fn cholesky(&self) -> Result<Matrix> {
+        if !self.is_square() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(StatsError::SingularMatrix);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Add `value` to every diagonal entry (ridge regularization used when a
+    /// covariance matrix is numerically singular).
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// Maximum absolute entry (used in tests and convergence checks).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Compute the column-wise mean of a set of equal-length rows.
+pub fn column_means(rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let dim = crate::validate_sample(rows)?;
+    let mut means = vec![0.0; dim];
+    for row in rows {
+        for (m, v) in means.iter_mut().zip(row.iter()) {
+            *m += v;
+        }
+    }
+    let n = rows.len() as f64;
+    means.iter_mut().for_each(|m| *m /= n);
+    Ok(means)
+}
+
+/// Sample covariance matrix (dividing by `n - 1`) of a set of rows.
+///
+/// Returns `(mean, covariance)`.
+pub fn covariance_matrix(rows: &[Vec<f64>]) -> Result<(Vec<f64>, Matrix)> {
+    let dim = crate::validate_sample(rows)?;
+    if rows.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            provided: rows.len(),
+        });
+    }
+    let means = column_means(rows)?;
+    let mut cov = Matrix::zeros(dim, dim);
+    for row in rows {
+        for i in 0..dim {
+            let di = row[i] - means[i];
+            for j in i..dim {
+                let dj = row[j] - means[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let denom = (rows.len() - 1) as f64;
+    for i in 0..dim {
+        for j in i..dim {
+            cov[(i, j)] /= denom;
+            if i != j {
+                cov[(j, i)] = cov[(i, j)];
+            }
+        }
+    }
+    Ok((means, cov))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let id = Matrix::identity(3);
+        let m = Matrix::from_vec(3, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0]);
+        assert_eq!(m.matmul(&id).unwrap(), m);
+        assert_eq!(id.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_close(c[(0, 0)], 58.0, 1e-12);
+        assert_close(c[(0, 1)], 64.0, 1e-12);
+        assert_close(c[(1, 0)], 139.0, 1e-12);
+        assert_close(c[(1, 1)], 154.0, 1e-12);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 8.0, 4.0, 6.0]);
+        assert_close(m.determinant().unwrap(), -14.0, 1e-9);
+        let m3 = Matrix::from_vec(3, 3, vec![6.0, 1.0, 1.0, 4.0, -2.0, 5.0, 2.0, 8.0, 7.0]);
+        assert_close(m3.determinant().unwrap(), -306.0, 1e-9);
+    }
+
+    #[test]
+    fn determinant_of_singular_is_zero() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_close(m.determinant().unwrap(), 0.0, 1e-9);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Matrix::from_vec(3, 3, vec![4.0, 7.0, 2.0, 3.0, 6.0, 1.0, 2.0, 5.0, 3.0]);
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        let id = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(prod[(i, j)], id[(i, j)], 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_of_singular_fails() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(m.inverse(), Err(StatsError::SingularMatrix));
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + 2y = 5 ; 3x + 4y = 11 -> x = 1, y = 2
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let x = a.solve(&[5.0, 11.0]).unwrap();
+        assert_close(x[0], 1.0, 1e-9);
+        assert_close(x[1], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn cholesky_round_trip() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 2.0, 2.0, 5.0, 1.0, 2.0, 1.0, 6.0]);
+        let l = a.cholesky().unwrap();
+        let lt = l.transpose();
+        let prod = l.matmul(&lt).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(prod[(i, j)], a[(i, j)], 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_positive_definite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(a.cholesky(), Err(StatsError::SingularMatrix));
+    }
+
+    #[test]
+    fn log_determinant_matches_determinant() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 1.0, 1.0, 2.0]);
+        let det = m.determinant().unwrap();
+        let logdet = m.log_abs_determinant().unwrap();
+        assert_close(logdet, det.abs().ln(), 1e-9);
+    }
+
+    #[test]
+    fn covariance_of_known_sample() {
+        let rows = vec![
+            vec![2.0, 8.0],
+            vec![4.0, 10.0],
+            vec![6.0, 12.0],
+            vec![8.0, 14.0],
+        ];
+        let (means, cov) = covariance_matrix(&rows).unwrap();
+        assert_close(means[0], 5.0, 1e-12);
+        assert_close(means[1], 11.0, 1e-12);
+        // Perfectly correlated with variance 20/3 each (sample variance).
+        assert_close(cov[(0, 0)], 20.0 / 3.0, 1e-9);
+        assert_close(cov[(1, 1)], 20.0 / 3.0, 1e-9);
+        assert_close(cov[(0, 1)], 20.0 / 3.0, 1e-9);
+        assert_close(cov[(1, 0)], cov[(0, 1)], 1e-12);
+    }
+
+    #[test]
+    fn covariance_requires_two_rows() {
+        assert!(matches!(
+            covariance_matrix(&[vec![1.0, 2.0]]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn add_diagonal_regularizes() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(m.inverse(), Err(StatsError::SingularMatrix));
+        m.add_diagonal(0.5);
+        assert!(m.inverse().is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let mut m = Matrix::zeros(rows, cols);
+            let mut state = seed.wrapping_add(1);
+            for i in 0..rows {
+                for j in 0..cols {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    m[(i, j)] = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                }
+            }
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn solve_then_matvec_recovers_rhs(n in 1usize..5, seed in 0u64..1000) {
+            let mut state = seed.wrapping_add(7);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            // Diagonally dominant matrices are always invertible.
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = next();
+                }
+                a[(i, i)] += n as f64 + 1.0;
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = a.solve(&b).unwrap();
+            let back = a.matvec(&x).unwrap();
+            for (orig, rec) in b.iter().zip(back.iter()) {
+                prop_assert!((orig - rec).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn covariance_is_symmetric_psd_diagonal(nrows in 3usize..30, seed in 0u64..1000) {
+            let mut state = seed.wrapping_add(13);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+            };
+            let rows: Vec<Vec<f64>> = (0..nrows).map(|_| vec![next(), next(), next()]).collect();
+            let (_, cov) = covariance_matrix(&rows).unwrap();
+            for i in 0..3 {
+                prop_assert!(cov[(i, i)] >= -1e-9);
+                for j in 0..3 {
+                    prop_assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Minimum Covariance Determinant estimation via FastMCD (Section 4.1,
+//! Appendix A) and Mahalanobis-distance scoring for multivariate metrics.
+//!
+//! The exact MCD — the `h`-point subset whose covariance matrix has minimum
+//! determinant — is combinatorial, so MacroBase adopts the FastMCD iterative
+//! approximation [Rousseeuw & Van Driessen 1999]: start from several random
+//! small subsets, repeatedly apply *C-steps* (re-fit location/scatter on the
+//! `h` points with smallest Mahalanobis distance under the current fit) until
+//! the determinant stops decreasing, and keep the best run.
+
+use crate::matrix::{covariance_matrix, Matrix};
+use crate::rand_ext::SplitMix64;
+use crate::{Estimator, Result, StatsError};
+
+/// Configuration for the FastMCD estimator.
+#[derive(Debug, Clone)]
+pub struct FastMcdConfig {
+    /// Fraction of the sample used for the robust subset `h` (`0.5..=1.0`).
+    /// The paper (and the reference implementation) default to `0.5`, the
+    /// maximum-breakdown choice.
+    pub support_fraction: f64,
+    /// Number of random restarts. More restarts improve the chance of
+    /// escaping a bad initial subset; FastMCD's authors recommend a handful.
+    pub num_starts: usize,
+    /// Maximum number of C-steps per restart.
+    pub max_iterations: usize,
+    /// Convergence threshold on the decrease of the covariance log-determinant.
+    pub tolerance: f64,
+    /// Seed for the internal subset-selection RNG (deterministic training).
+    pub seed: u64,
+}
+
+impl Default for FastMcdConfig {
+    fn default() -> Self {
+        FastMcdConfig {
+            support_fraction: 0.5,
+            num_starts: 4,
+            max_iterations: 50,
+            tolerance: 1e-7,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// FastMCD robust multivariate location/scatter estimator with
+/// Mahalanobis-distance scoring.
+#[derive(Debug, Clone)]
+pub struct McdEstimator {
+    config: FastMcdConfig,
+    mean: Vec<f64>,
+    covariance: Option<Matrix>,
+    inverse_covariance: Option<Matrix>,
+}
+
+impl Default for McdEstimator {
+    fn default() -> Self {
+        Self::new(FastMcdConfig::default())
+    }
+}
+
+impl McdEstimator {
+    /// Create an untrained estimator with the given configuration.
+    pub fn new(config: FastMcdConfig) -> Self {
+        McdEstimator {
+            config,
+            mean: Vec::new(),
+            covariance: None,
+            inverse_covariance: None,
+        }
+    }
+
+    /// Create an untrained estimator with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The robust location estimate, if trained.
+    pub fn location(&self) -> Option<&[f64]> {
+        self.covariance.as_ref().map(|_| self.mean.as_slice())
+    }
+
+    /// The robust scatter (covariance) estimate, if trained.
+    pub fn scatter(&self) -> Option<&Matrix> {
+        self.covariance.as_ref()
+    }
+
+    /// The inverse scatter matrix, if trained (used by scoring and corr-max).
+    pub fn inverse_scatter(&self) -> Option<&Matrix> {
+        self.inverse_covariance.as_ref()
+    }
+
+    /// Squared Mahalanobis distance of `x` from the fitted distribution.
+    pub fn squared_mahalanobis(&self, x: &[f64]) -> Result<f64> {
+        let inv = self
+            .inverse_covariance
+            .as_ref()
+            .ok_or(StatsError::NotTrained)?;
+        if x.len() != self.mean.len() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.mean.len(),
+                actual: x.len(),
+            });
+        }
+        let centered: Vec<f64> = x.iter().zip(self.mean.iter()).map(|(a, b)| a - b).collect();
+        let transformed = inv.matvec(&centered)?;
+        Ok(centered
+            .iter()
+            .zip(transformed.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            .max(0.0))
+    }
+
+    /// Mahalanobis distance (square root of [`squared_mahalanobis`]).
+    ///
+    /// [`squared_mahalanobis`]: McdEstimator::squared_mahalanobis
+    pub fn mahalanobis(&self, x: &[f64]) -> Result<f64> {
+        Ok(self.squared_mahalanobis(x)?.sqrt())
+    }
+
+    /// Compute mean and covariance of the rows selected by `indices`,
+    /// regularizing the covariance if it is singular.
+    fn fit_subset(sample: &[Vec<f64>], indices: &[usize]) -> Result<(Vec<f64>, Matrix)> {
+        let rows: Vec<Vec<f64>> = indices.iter().map(|&i| sample[i].clone()).collect();
+        let (mean, mut cov) = covariance_matrix(&rows)?;
+        // Ridge-regularize until invertible; degenerate subsets (e.g. repeated
+        // points) otherwise break the C-step.
+        let mut ridge = 1e-9;
+        while cov.inverse().is_err() && ridge < 1e3 {
+            cov.add_diagonal(ridge);
+            ridge *= 10.0;
+        }
+        Ok((mean, cov))
+    }
+
+    /// One C-step: given a fit, select the `h` points with the smallest
+    /// Mahalanobis distances under that fit.
+    fn c_step(
+        sample: &[Vec<f64>],
+        mean: &[f64],
+        cov: &Matrix,
+        h: usize,
+        distances: &mut Vec<(f64, usize)>,
+    ) -> Result<Vec<usize>> {
+        let inv = cov.inverse()?;
+        distances.clear();
+        for (idx, row) in sample.iter().enumerate() {
+            let centered: Vec<f64> = row.iter().zip(mean.iter()).map(|(a, b)| a - b).collect();
+            let transformed = inv.matvec(&centered)?;
+            let d2: f64 = centered
+                .iter()
+                .zip(transformed.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            distances.push((d2, idx));
+        }
+        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(distances.iter().take(h).map(|&(_, idx)| idx).collect())
+    }
+}
+
+impl Estimator for McdEstimator {
+    fn train(&mut self, sample: &[Vec<f64>]) -> Result<()> {
+        let dim = crate::validate_sample(sample)?;
+        let n = sample.len();
+        // Need enough points for a non-degenerate covariance of a subset.
+        let min_required = (dim + 2).max(4);
+        if n < min_required {
+            return Err(StatsError::InsufficientData {
+                required: min_required,
+                provided: n,
+            });
+        }
+        if !(0.5..=1.0).contains(&self.config.support_fraction) {
+            return Err(StatsError::InvalidParameter(format!(
+                "support_fraction must be in [0.5, 1.0], got {}",
+                self.config.support_fraction
+            )));
+        }
+
+        let h = ((n as f64 * self.config.support_fraction).ceil() as usize)
+            .max(dim + 1)
+            .min(n);
+        let mut rng = SplitMix64::new(self.config.seed);
+        let mut distances: Vec<(f64, usize)> = Vec::with_capacity(n);
+
+        let mut best: Option<(f64, Vec<f64>, Matrix)> = None;
+
+        for _start in 0..self.config.num_starts.max(1) {
+            // Initial subset: d + 1 random distinct points (FastMCD's elemental
+            // start), falling back to h points when the sample is tiny.
+            let init_size = (dim + 1).min(n).max(2);
+            let mut indices: Vec<usize> = (0..n).collect();
+            // Partial Fisher-Yates to pick `init_size` distinct indices.
+            for i in 0..init_size {
+                let j = i + rng.next_below(n - i);
+                indices.swap(i, j);
+            }
+            let mut subset: Vec<usize> = indices[..init_size].to_vec();
+
+            let (mut mean, mut cov) = Self::fit_subset(sample, &subset)?;
+            let mut last_logdet = cov.log_abs_determinant().unwrap_or(f64::INFINITY);
+
+            for _iter in 0..self.config.max_iterations {
+                subset = match Self::c_step(sample, &mean, &cov, h, &mut distances) {
+                    Ok(s) => s,
+                    Err(_) => break,
+                };
+                let (new_mean, new_cov) = Self::fit_subset(sample, &subset)?;
+                let logdet = new_cov.log_abs_determinant().unwrap_or(f64::INFINITY);
+                mean = new_mean;
+                cov = new_cov;
+                if (last_logdet - logdet).abs() < self.config.tolerance {
+                    last_logdet = logdet;
+                    break;
+                }
+                last_logdet = logdet;
+            }
+
+            let replace = match &best {
+                None => true,
+                Some((best_logdet, _, _)) => last_logdet < *best_logdet,
+            };
+            if replace {
+                best = Some((last_logdet, mean, cov));
+            }
+        }
+
+        let (_, mean, mut cov) = best.ok_or(StatsError::SingularMatrix)?;
+        // Final safety regularization before inverting for the scoring path.
+        let inv = match cov.inverse() {
+            Ok(inv) => inv,
+            Err(_) => {
+                cov.add_diagonal(1e-6);
+                cov.inverse()?
+            }
+        };
+        self.mean = mean;
+        self.covariance = Some(cov);
+        self.inverse_covariance = Some(inv);
+        Ok(())
+    }
+
+    fn score(&self, metrics: &[f64]) -> Result<f64> {
+        self.mahalanobis(metrics)
+    }
+
+    fn dimension(&self) -> Option<usize> {
+        self.covariance.as_ref().map(|_| self.mean.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_ext::{normal, SplitMix64};
+
+    fn gaussian_cloud(
+        rng: &mut SplitMix64,
+        n: usize,
+        center: &[f64],
+        std_dev: f64,
+    ) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| center.iter().map(|&c| normal(rng, c, std_dev)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn untrained_estimator_errors() {
+        let est = McdEstimator::with_defaults();
+        assert_eq!(est.score(&[1.0, 2.0]), Err(StatsError::NotTrained));
+        assert!(!est.is_trained());
+    }
+
+    #[test]
+    fn insufficient_data_is_rejected() {
+        let mut est = McdEstimator::with_defaults();
+        assert!(matches!(
+            est.train(&[vec![1.0, 2.0], vec![3.0, 4.0]]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_support_fraction_rejected() {
+        let mut cfg = FastMcdConfig::default();
+        cfg.support_fraction = 0.3;
+        let mut est = McdEstimator::new(cfg);
+        let mut rng = SplitMix64::new(1);
+        let sample = gaussian_cloud(&mut rng, 100, &[0.0, 0.0], 1.0);
+        assert!(matches!(
+            est.train(&sample),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn recovers_gaussian_center() {
+        let mut rng = SplitMix64::new(11);
+        let sample = gaussian_cloud(&mut rng, 2000, &[5.0, -3.0], 2.0);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let loc = est.location().unwrap();
+        assert!((loc[0] - 5.0).abs() < 0.5, "location[0] = {}", loc[0]);
+        assert!((loc[1] + 3.0).abs() < 0.5, "location[1] = {}", loc[1]);
+    }
+
+    #[test]
+    fn outliers_score_higher_than_inliers() {
+        let mut rng = SplitMix64::new(21);
+        let sample = gaussian_cloud(&mut rng, 1000, &[0.0, 0.0, 0.0], 1.0);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let inlier_score = est.score(&[0.5, -0.5, 0.2]).unwrap();
+        let outlier_score = est.score(&[20.0, 20.0, 20.0]).unwrap();
+        assert!(outlier_score > 10.0 * inlier_score);
+    }
+
+    #[test]
+    fn robust_to_forty_percent_contamination() {
+        // The defining property of MCD (Figure 3): a 40% cluster of extreme
+        // points must not drag the fitted center toward itself.
+        let mut rng = SplitMix64::new(31);
+        let mut sample = gaussian_cloud(&mut rng, 600, &[0.0, 0.0], 1.0);
+        sample.extend(gaussian_cloud(&mut rng, 400, &[1000.0, 1000.0], 1.0));
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let loc = est.location().unwrap();
+        assert!(loc[0].abs() < 5.0, "location dragged to {loc:?}");
+        assert!(loc[1].abs() < 5.0, "location dragged to {loc:?}");
+        // And the contaminating cluster still scores as extremely outlying.
+        assert!(est.score(&[1000.0, 1000.0]).unwrap() > 50.0);
+    }
+
+    #[test]
+    fn mahalanobis_of_center_is_zero() {
+        let mut rng = SplitMix64::new(41);
+        let sample = gaussian_cloud(&mut rng, 500, &[2.0, 2.0], 1.0);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let loc: Vec<f64> = est.location().unwrap().to_vec();
+        assert!(est.score(&loc).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn dimension_mismatch_on_score() {
+        let mut rng = SplitMix64::new(51);
+        let sample = gaussian_cloud(&mut rng, 100, &[0.0, 0.0], 1.0);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        assert!(matches!(
+            est.score(&[1.0, 2.0, 3.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_degenerate_dimension_via_regularization() {
+        // Third dimension is constant -> covariance singular without ridging.
+        let mut rng = SplitMix64::new(61);
+        let sample: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![normal(&mut rng, 0.0, 1.0), normal(&mut rng, 0.0, 1.0), 7.0])
+            .collect();
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        assert!(est.score(&[0.0, 0.0, 7.0]).unwrap().is_finite());
+        assert!(est.score(&[10.0, 10.0, 7.0]).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let mut rng = SplitMix64::new(71);
+        let sample = gaussian_cloud(&mut rng, 300, &[1.0, 2.0], 1.5);
+        let mut a = McdEstimator::with_defaults();
+        let mut b = McdEstimator::with_defaults();
+        a.train(&sample).unwrap();
+        b.train(&sample).unwrap();
+        assert_eq!(a.location().unwrap(), b.location().unwrap());
+        assert_eq!(
+            a.score(&[3.0, 3.0]).unwrap(),
+            b.score(&[3.0, 3.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn univariate_mcd_works() {
+        let mut rng = SplitMix64::new(81);
+        let sample: Vec<Vec<f64>> = (0..400).map(|_| vec![normal(&mut rng, 10.0, 2.0)]).collect();
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        assert!(est.score(&[10.0]).unwrap() < est.score(&[40.0]).unwrap());
+    }
+}

@@ -1,0 +1,226 @@
+//! Random-variate generation used by MacroBase's samplers and the synthetic
+//! workload generators.
+//!
+//! The workspace's approved dependency set includes `rand` but not
+//! `rand_distr`, so the Gaussian (Box–Muller), exponential, and Zipfian
+//! samplers the evaluation needs are implemented here.
+
+use rand::Rng;
+
+/// Draw a standard normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draw a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draw an exponential variate with the given rate `lambda`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / lambda
+}
+
+/// A Zipfian sampler over `{0, 1, ..., n-1}` with exponent `s`.
+///
+/// Heavy-hitter experiments (Figure 6) use Zipf-distributed attribute values
+/// because production attribute streams (device IDs, firmware versions) are
+/// highly skewed. Sampling uses the inverse-CDF over a precomputed table,
+/// which is exact and fast for the cardinalities used in the benches.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` items with skew `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point drift: the last entry must be 1.0.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Number of distinct items.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one item index in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Deterministic xorshift-based RNG for tests and reproducible workloads.
+///
+/// Wrapping `rand::rngs::StdRng::seed_from_u64` everywhere is fine too, but a
+/// tiny local PCG keeps generator state explicit in bench harnesses that must
+/// be byte-for-byte reproducible across runs.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+impl rand::RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::univariate::{mean, population_std};
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SplitMix64::new(42);
+        let sample: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let m = mean(&sample).unwrap();
+        let s = population_std(&sample).unwrap();
+        assert!(m.abs() < 0.03, "mean was {m}");
+        assert!((s - 1.0).abs() < 0.03, "std was {s}");
+    }
+
+    #[test]
+    fn normal_respects_parameters() {
+        let mut rng = SplitMix64::new(7);
+        let sample: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 70.0, 10.0)).collect();
+        let m = mean(&sample).unwrap();
+        let s = population_std(&sample).unwrap();
+        assert!((m - 70.0).abs() < 0.3, "mean was {m}");
+        assert!((s - 10.0).abs() < 0.3, "std was {s}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SplitMix64::new(11);
+        let lambda = 2.0;
+        let sample: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, lambda)).collect();
+        let m = mean(&sample).unwrap();
+        assert!((m - 0.5).abs() < 0.02, "mean was {m}");
+        assert!(sample.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_nonpositive_rate() {
+        let mut rng = SplitMix64::new(1);
+        exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SplitMix64::new(3);
+        let zipf = Zipf::new(1000, 1.2);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            let idx = zipf.sample(&mut rng);
+            assert!(idx < 1000);
+            counts[idx] += 1;
+        }
+        // Item 0 must dominate item 100 by a wide margin under s=1.2.
+        assert!(counts[0] > counts[100] * 5);
+        // All the mass is somewhere.
+        assert_eq!(counts.iter().sum::<usize>(), 100_000);
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let mut rng = SplitMix64::new(5);
+        let zipf = Zipf::new(1, 1.0);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Autocorrelation features for periodic signals.
+//!
+//! The paper mentions autocorrelation as one of the time-series feature
+//! transformations users add ahead of MDP (e.g. the Horsehead pressure
+//! scenario, Section 3.2). The normalized autocorrelation at a set of lags
+//! forms a compact metric vector in which periodic structure (or its loss)
+//! stands out.
+
+use crate::{Result, TransformError};
+
+/// Normalized autocorrelation of `signal` at the given `lag`
+/// (`r(lag) ∈ [-1, 1]`, with `r(0) = 1` for non-constant signals).
+pub fn autocorrelation_at(signal: &[f64], lag: usize) -> Result<f64> {
+    if signal.is_empty() {
+        return Err(TransformError::EmptyInput);
+    }
+    if lag >= signal.len() {
+        return Err(TransformError::InvalidParameter(format!(
+            "lag {lag} exceeds signal length {}",
+            signal.len()
+        )));
+    }
+    let n = signal.len();
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let variance: f64 = signal.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+    if variance <= f64::EPSILON {
+        // Constant signal: define r(0) = 1, r(lag > 0) = 0.
+        return Ok(if lag == 0 { 1.0 } else { 0.0 });
+    }
+    let covariance: f64 = (0..n - lag)
+        .map(|t| (signal[t] - mean) * (signal[t + lag] - mean))
+        .sum();
+    Ok(covariance / variance)
+}
+
+/// Autocorrelation feature vector: `r(lag)` for each lag in `lags`.
+pub fn autocorrelation_features(signal: &[f64], lags: &[usize]) -> Result<Vec<f64>> {
+    lags.iter()
+        .map(|&lag| autocorrelation_at(signal, lag))
+        .collect()
+}
+
+/// Estimate the dominant period as the lag (in `1..=max_lag`) with the
+/// strongest autocorrelation *after* the autocorrelation first dips negative.
+///
+/// Small lags of any smooth signal correlate strongly with lag 0, so a naive
+/// arg-max would almost always return 1; waiting for the first zero crossing
+/// is the standard heuristic for picking out the true period. If the
+/// autocorrelation never goes negative (e.g. a trend), the global arg-max over
+/// `1..=max_lag` is returned instead.
+pub fn dominant_period(signal: &[f64], max_lag: usize) -> Result<usize> {
+    if signal.len() < 2 {
+        return Err(TransformError::EmptyInput);
+    }
+    let max_lag = max_lag.min(signal.len() - 1);
+    if max_lag == 0 {
+        return Err(TransformError::InvalidParameter(
+            "max_lag must be at least 1".to_string(),
+        ));
+    }
+    let correlations: Vec<f64> = (1..=max_lag)
+        .map(|lag| autocorrelation_at(signal, lag))
+        .collect::<Result<Vec<f64>>>()?;
+    let first_negative = correlations.iter().position(|&r| r < 0.0);
+    let search_from = first_negative.unwrap_or(0);
+    let (best_offset, _) = correlations[search_from..]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("correlations are non-empty");
+    Ok(search_from + best_offset + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_signal(period: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let signal = periodic_signal(10, 100);
+        assert!((autocorrelation_at(&signal, 0).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_its_period() {
+        let signal = periodic_signal(20, 400);
+        let at_period = autocorrelation_at(&signal, 20).unwrap();
+        let at_half_period = autocorrelation_at(&signal, 10).unwrap();
+        assert!(at_period > 0.9);
+        assert!(at_half_period < -0.9);
+        assert_eq!(dominant_period(&signal, 30).unwrap(), 20);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_autocorrelation() {
+        let signal = vec![5.0; 50];
+        assert_eq!(autocorrelation_at(&signal, 0).unwrap(), 1.0);
+        assert_eq!(autocorrelation_at(&signal, 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(
+            autocorrelation_at(&[], 0),
+            Err(TransformError::EmptyInput)
+        );
+        assert!(autocorrelation_at(&[1.0, 2.0], 5).is_err());
+        assert!(dominant_period(&[1.0], 5).is_err());
+    }
+
+    #[test]
+    fn feature_vector_has_requested_length() {
+        let signal = periodic_signal(8, 64);
+        let features = autocorrelation_features(&signal, &[0, 1, 2, 4, 8]).unwrap();
+        assert_eq!(features.len(), 5);
+        assert!((features[0] - 1.0).abs() < 1e-9);
+        assert!(features[4] > 0.8);
+    }
+
+    #[test]
+    fn white_noise_has_weak_autocorrelation() {
+        // A deterministic pseudo-random signal: correlations at lag > 0 are small.
+        let mut state = 12345u64;
+        let signal: Vec<f64> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        for lag in [1, 5, 10, 50] {
+            let r = autocorrelation_at(&signal, lag).unwrap();
+            assert!(r.abs() < 0.1, "lag {lag}: r = {r}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Domain-specific feature transformation operators (Section 3.2, stage 2,
+//! and the case studies of Section 6.4).
+//!
+//! Feature transforms sit between ingestion and classification: they rewrite
+//! a point's metric vector (and possibly its attributes) without the rest of
+//! the pipeline having to know anything about the domain. This crate provides
+//! the transforms the paper's case studies use:
+//!
+//! * [`fourier`] — discrete Fourier transform and the windowed Short-Time
+//!   Fourier Transform (STFT) used by the electricity-metering pipeline.
+//! * [`autocorrelation`] — autocorrelation features for periodic signals.
+//! * [`window`] — tumbling windows that aggregate a stream of samples into
+//!   per-window feature vectors tagged with time attributes.
+//! * [`normalize`] — z-normalization and min-max scaling of metric columns.
+//! * [`truncate`] — dimensionality truncation (keep the first `k` metrics).
+//! * [`flow`] — a pure-Rust optical-flow-magnitude transform over frame
+//!   pairs, standing in for the OpenCV transform of the video case study.
+
+#![warn(missing_docs)]
+
+pub mod autocorrelation;
+pub mod flow;
+pub mod fourier;
+pub mod normalize;
+pub mod truncate;
+pub mod window;
+
+/// Errors produced by feature transforms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The input was empty where a non-empty series/frame was required.
+    EmptyInput,
+    /// Mismatched dimensions (e.g. frames of different sizes).
+    DimensionMismatch {
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::EmptyInput => write!(f, "input is empty"),
+            TransformError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            TransformError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, TransformError>;

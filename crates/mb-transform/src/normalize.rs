@@ -1,0 +1,193 @@
+//! Metric normalization transforms (Section 3.2 lists normalization among the
+//! statistical operations a pipeline may apply before classification).
+
+use crate::{Result, TransformError};
+use mb_stats::univariate::RunningStats;
+
+/// Z-normalization fitted per metric column: `x -> (x - mean) / std`.
+///
+/// Columns with zero variance map to 0 (rather than NaN) so degenerate
+/// metrics cannot poison downstream classifiers.
+#[derive(Debug, Clone)]
+pub struct ZNormalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl ZNormalizer {
+    /// Fit a normalizer to a batch of metric rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
+        let first = rows.first().ok_or(TransformError::EmptyInput)?;
+        let dim = first.len();
+        if dim == 0 {
+            return Err(TransformError::EmptyInput);
+        }
+        let mut stats = vec![RunningStats::new(); dim];
+        for row in rows {
+            if row.len() != dim {
+                return Err(TransformError::DimensionMismatch {
+                    expected: dim,
+                    actual: row.len(),
+                });
+            }
+            for (s, &x) in stats.iter_mut().zip(row.iter()) {
+                s.observe(x);
+            }
+        }
+        Ok(ZNormalizer {
+            means: stats.iter().map(|s| s.mean()).collect(),
+            stds: stats.iter().map(|s| s.std()).collect(),
+        })
+    }
+
+    /// Number of metric columns the normalizer was fitted on.
+    pub fn dimension(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transform one metric row in place.
+    pub fn transform_in_place(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.means.len() {
+            return Err(TransformError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: row.len(),
+            });
+        }
+        for ((x, mean), std) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = if *std > f64::EPSILON {
+                (*x - mean) / std
+            } else {
+                0.0
+            };
+        }
+        Ok(())
+    }
+
+    /// Transform a whole batch, returning new rows.
+    pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        rows.iter()
+            .map(|row| {
+                let mut out = row.clone();
+                self.transform_in_place(&mut out)?;
+                Ok(out)
+            })
+            .collect()
+    }
+}
+
+/// Min-max scaling of each metric column into `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit a scaler to a batch of metric rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
+        let first = rows.first().ok_or(TransformError::EmptyInput)?;
+        let dim = first.len();
+        if dim == 0 {
+            return Err(TransformError::EmptyInput);
+        }
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            if row.len() != dim {
+                return Err(TransformError::DimensionMismatch {
+                    expected: dim,
+                    actual: row.len(),
+                });
+            }
+            for ((x, min), max) in row.iter().zip(mins.iter_mut()).zip(maxs.iter_mut()) {
+                *min = min.min(*x);
+                *max = max.max(*x);
+            }
+        }
+        Ok(MinMaxScaler { mins, maxs })
+    }
+
+    /// Transform one row in place; constant columns map to 0.5.
+    pub fn transform_in_place(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.mins.len() {
+            return Err(TransformError::DimensionMismatch {
+                expected: self.mins.len(),
+                actual: row.len(),
+            });
+        }
+        for ((x, min), max) in row.iter_mut().zip(&self.mins).zip(&self.maxs) {
+            let range = max - min;
+            *x = if range > f64::EPSILON {
+                (*x - min) / range
+            } else {
+                0.5
+            };
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znormalizer_zero_mean_unit_variance() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let norm = ZNormalizer::fit(&rows).unwrap();
+        let transformed = norm.transform_batch(&rows).unwrap();
+        for col in 0..2 {
+            let values: Vec<f64> = transformed.iter().map(|r| r[col]).collect();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let var =
+                values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let norm = ZNormalizer::fit(&rows).unwrap();
+        let mut row = vec![5.0, 2.0];
+        norm.transform_in_place(&mut row).unwrap();
+        assert_eq!(row[0], 0.0);
+        assert!(row[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn znormalizer_rejects_bad_input() {
+        assert!(matches!(
+            ZNormalizer::fit(&[]),
+            Err(TransformError::EmptyInput)
+        ));
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(ZNormalizer::fit(&rows).is_err());
+        let norm = ZNormalizer::fit(&[vec![1.0, 2.0]]).unwrap();
+        let mut short = vec![1.0];
+        assert!(norm.transform_in_place(&mut short).is_err());
+    }
+
+    #[test]
+    fn minmax_scales_into_unit_interval() {
+        let rows = vec![vec![0.0, -10.0], vec![5.0, 0.0], vec![10.0, 10.0]];
+        let scaler = MinMaxScaler::fit(&rows).unwrap();
+        let mut mid = vec![5.0, 0.0];
+        scaler.transform_in_place(&mut mid).unwrap();
+        assert!((mid[0] - 0.5).abs() < 1e-9);
+        assert!((mid[1] - 0.5).abs() < 1e-9);
+        let mut low = vec![0.0, -10.0];
+        scaler.transform_in_place(&mut low).unwrap();
+        assert_eq!(low, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_constant_column_maps_to_half() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let scaler = MinMaxScaler::fit(&rows).unwrap();
+        let mut row = vec![7.0];
+        scaler.transform_in_place(&mut row).unwrap();
+        assert_eq!(row[0], 0.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! # MacroBase-RS
+//!
+//! A Rust reproduction of **MacroBase: Prioritizing Attention in Fast Data**
+//! (Bailis et al., SIGMOD 2017): a fast-data analytics engine that combines
+//! streaming **classification** (robust, density-based outlier detection)
+//! with streaming **explanation** (risk-ratio attribute-combination mining)
+//! so that a handful of returned results capture the most important
+//! behaviours in a high-volume stream.
+//!
+//! This façade crate re-exports the full public API of the workspace:
+//!
+//! * [`core`] — data types, operator traits, the MacroBase Default Pipeline
+//!   (MDP) in one-shot, streaming, hybrid, and partitioned forms.
+//! * [`stats`] — robust statistics: MAD, FastMCD, Mahalanobis distances,
+//!   confidence intervals.
+//! * [`sketch`] — the Adaptable Damped Reservoir (ADR), the Amortized
+//!   Maintenance Counter (AMC), SpaceSaving baselines, streaming quantiles.
+//! * [`fpgrowth`] — FP-tree/FPGrowth, CPS-tree and M-CPS-tree itemset mining.
+//! * [`classify`] — MAD/MCD/Z-score/rule classifiers and percentile
+//!   thresholds.
+//! * [`explain`] — risk-ratio explanation (batch, streaming, and baselines).
+//! * [`transform`] — STFT, autocorrelation, windowing, normalization,
+//!   optical-flow features.
+//! * [`ingest`] — CSV ingestion and the synthetic workloads used by the
+//!   paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use macrobase::prelude::*;
+//!
+//! // A stream of power readings tagged with device ids; one device misbehaves.
+//! let mut points: Vec<Point> = (0..5_000)
+//!     .map(|i| Point::simple(10.0 + (i % 7) as f64 * 0.2, format!("device_{}", i % 50)))
+//!     .collect();
+//! for i in 0..50 {
+//!     points[i * 100] = Point::simple(90.0, "device_13");
+//! }
+//!
+//! let mdp = MdpOneShot::with_defaults();
+//! let report = mdp.run(&points).unwrap();
+//! assert!(report.explanations.iter().any(|e| {
+//!     e.attributes.iter().any(|a| a.contains("device_13"))
+//! }));
+//! ```
+
+pub use macrobase_core as core;
+pub use mb_classify as classify;
+pub use mb_explain as explain;
+pub use mb_fpgrowth as fpgrowth;
+pub use mb_ingest as ingest;
+pub use mb_sketch as sketch;
+pub use mb_stats as stats;
+pub use mb_transform as transform;
+
+/// Commonly used types, re-exported for `use macrobase::prelude::*`.
+pub mod prelude {
+    pub use crate::core::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
+    pub use crate::core::parallel::run_partitioned;
+    pub use crate::core::pipeline::{Pipeline, PipelineBuilder};
+    pub use crate::core::presentation::render_report;
+    pub use crate::core::streaming::{MdpStreaming, StreamingMdpConfig};
+    pub use crate::core::types::{LabeledPoint, MdpReport, Point, RenderedExplanation};
+    pub use crate::core::Label;
+    pub use crate::explain::ExplanationConfig;
+}

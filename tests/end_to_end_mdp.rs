@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: full MDP pipelines over synthetic
+//! workloads, exercising ingestion, classification, and explanation together.
+
+use macrobase::ingest::synthetic::{device_f1_score, device_workload, DeviceWorkloadConfig};
+use macrobase::prelude::*;
+
+fn workload_points(config: &DeviceWorkloadConfig) -> (Vec<Point>, Vec<String>) {
+    let workload = device_workload(config);
+    let points = workload
+        .records
+        .iter()
+        .map(|r| Point::new(r.record.metrics.clone(), r.record.attributes.clone()))
+        .collect();
+    (points, workload.outlying_devices)
+}
+
+/// Extract the device ids named by a report's explanations.
+fn reported_devices(report: &MdpReport) -> Vec<String> {
+    report
+        .explanations
+        .iter()
+        .flat_map(|e| e.attributes.iter())
+        .filter_map(|a| a.split('=').nth(1))
+        .map(|s| s.to_string())
+        .collect()
+}
+
+#[test]
+fn one_shot_mdp_perfectly_recovers_devices_without_noise() {
+    // Section 6.1: "In the noiseless regions of Figure 4, MDP correctly
+    // identified 100% of the outlying devices."
+    let (points, truth) = workload_points(&DeviceWorkloadConfig {
+        num_points: 60_000,
+        num_devices: 640,
+        outlying_device_fraction: 0.01,
+        ..DeviceWorkloadConfig::default()
+    });
+    let mdp = MdpOneShot::new(MdpConfig {
+        explanation: ExplanationConfig::new(0.001, 3.0),
+        attribute_names: vec!["device_id".to_string()],
+        ..MdpConfig::default()
+    });
+    let report = mdp.run(&points).unwrap();
+    let f1 = device_f1_score(&reported_devices(&report), &truth);
+    assert!(f1 > 0.95, "F1 was {f1}");
+}
+
+#[test]
+fn one_shot_mdp_is_resilient_to_moderate_label_noise() {
+    // Figure 4: explanation accuracy holds up to ~20-25% label noise, because
+    // the risk ratio (threshold 3) prunes inlying devices whose readings were
+    // only occasionally mislabeled. Label noise inflates the fraction of
+    // anomalous readings, so — as in the paper's setup, where essentially all
+    // outlier-distribution readings are classified as outliers — the target
+    // percentile is set to match the anomalous mass.
+    let label_noise = 0.15;
+    let outlying_fraction = 0.01;
+    let (points, truth) = workload_points(&DeviceWorkloadConfig {
+        num_points: 60_000,
+        num_devices: 640,
+        outlying_device_fraction: outlying_fraction,
+        label_noise,
+        ..DeviceWorkloadConfig::default()
+    });
+    let anomalous_mass =
+        label_noise * (1.0 - outlying_fraction) + (1.0 - label_noise) * outlying_fraction;
+    let mdp = MdpOneShot::new(MdpConfig {
+        target_percentile: 1.0 - anomalous_mass,
+        explanation: ExplanationConfig::new(0.001, 3.0),
+        attribute_names: vec!["device_id".to_string()],
+        ..MdpConfig::default()
+    });
+    let report = mdp.run(&points).unwrap();
+    let f1 = device_f1_score(&reported_devices(&report), &truth);
+    assert!(f1 > 0.8, "F1 under 15% label noise was {f1}");
+}
+
+#[test]
+fn streaming_and_one_shot_agree_on_stable_streams() {
+    // Table 2 observes that for datasets with few distinct attribute values
+    // the one-shot and streaming explanations are highly similar; check the
+    // analogous property on the device workload.
+    let (points, truth) = workload_points(&DeviceWorkloadConfig {
+        num_points: 60_000,
+        num_devices: 200,
+        outlying_device_fraction: 0.02,
+        ..DeviceWorkloadConfig::default()
+    });
+
+    let one_shot_report = MdpOneShot::new(MdpConfig {
+        explanation: ExplanationConfig::new(0.01, 3.0),
+        attribute_names: vec!["device_id".to_string()],
+        ..MdpConfig::default()
+    })
+    .run(&points)
+    .unwrap();
+
+    let mut streaming = MdpStreaming::new(StreamingMdpConfig {
+        explanation: ExplanationConfig::new(0.01, 3.0),
+        attribute_names: vec!["device_id".to_string()],
+        reservoir_size: 5_000,
+        decay_rate: 0.01,
+        decay_period: 20_000,
+        retrain_period: 10_000,
+        ..StreamingMdpConfig::default()
+    });
+    for p in &points {
+        streaming.observe(p).unwrap();
+    }
+    let streaming_report = streaming.report();
+
+    let one_shot_devices: std::collections::HashSet<String> =
+        reported_devices(&one_shot_report).into_iter().collect();
+    let streaming_devices: std::collections::HashSet<String> =
+        reported_devices(&streaming_report).into_iter().collect();
+    // Every ground-truth device is found by both modes.
+    for device in &truth {
+        assert!(one_shot_devices.contains(device), "one-shot missed {device}");
+        assert!(
+            streaming_devices.contains(device),
+            "streaming missed {device}"
+        );
+    }
+}
+
+#[test]
+fn partitioned_execution_preserves_recall_but_not_precision() {
+    // Figure 11: shared-nothing partitioning keeps recall (the planted
+    // devices are found) while overall explanation quality may degrade.
+    let (points, truth) = workload_points(&DeviceWorkloadConfig {
+        num_points: 40_000,
+        num_devices: 200,
+        outlying_device_fraction: 0.02,
+        ..DeviceWorkloadConfig::default()
+    });
+    let config = MdpConfig {
+        explanation: ExplanationConfig::new(0.01, 3.0),
+        attribute_names: vec!["device_id".to_string()],
+        ..MdpConfig::default()
+    };
+    let single = run_partitioned(&points, 1, &config).unwrap();
+    let partitioned = run_partitioned(&points, 8, &config).unwrap();
+
+    let devices_of = |explanations: &[RenderedExplanation]| -> std::collections::HashSet<String> {
+        explanations
+            .iter()
+            .flat_map(|e| e.attributes.iter())
+            .filter_map(|a| a.split('=').nth(1).map(|s| s.to_string()))
+            .collect()
+    };
+    let single_devices = devices_of(&single.merged_explanations);
+    let partitioned_devices = devices_of(&partitioned.merged_explanations);
+    for device in &truth {
+        assert!(single_devices.contains(device));
+        assert!(
+            partitioned_devices.contains(device),
+            "partitioned run missed {device}"
+        );
+    }
+    // The union of per-partition explanations is at least as large (extra,
+    // lower-quality explanations are the accuracy cost Figure 11 reports).
+    assert!(partitioned.merged_explanations.len() >= single.merged_explanations.len());
+}
+
+#[test]
+fn csv_ingestion_feeds_the_pipeline() {
+    // End-to-end: CSV text -> records -> points -> MDP report.
+    let mut csv = String::from("power,device\n");
+    for i in 0..5_000 {
+        let (power, device) = if i % 100 == 0 {
+            (95.0 + (i % 7) as f64, "B264")
+        } else {
+            (10.0 + (i % 13) as f64 * 0.3, ["B1", "B2", "B3", "B4"][i % 4])
+        };
+        csv.push_str(&format!("{power},{device}\n"));
+    }
+    let query = macrobase::ingest::csv::CsvQuery::new(
+        vec!["power".to_string()],
+        vec!["device".to_string()],
+    );
+    let ingested = macrobase::ingest::csv::ingest_csv_str(&csv, &query).unwrap();
+    assert_eq!(ingested.skipped_rows, 0);
+    let points: Vec<Point> = ingested
+        .records
+        .into_iter()
+        .map(|r| Point::new(r.metrics, r.attributes))
+        .collect();
+    let report = MdpOneShot::new(MdpConfig {
+        explanation: ExplanationConfig::new(0.01, 3.0),
+        attribute_names: vec!["device".to_string()],
+        ..MdpConfig::default()
+    })
+    .run(&points)
+    .unwrap();
+    assert!(report
+        .explanations
+        .iter()
+        .any(|e| e.attributes.contains(&"device=B264".to_string())));
+}

@@ -7,8 +7,7 @@
 //! system described in Sections 3–5 of *MacroBase: Prioritizing Attention in
 //! Fast Data*:
 //!
-//! * [`types`] — [`Point`](types::Point), labels, and rendered explanation
-//!   reports.
+//! * [`types`] — [`Point`], labels, and rendered explanation reports.
 //! * [`operator`] — the typed operator interfaces of Table 1 (Transformer,
 //!   Classifier, Explainer) and adapters for closures.
 //! * [`oneshot`] — one-shot MDP execution over a batch of points.
@@ -19,6 +18,26 @@
 //! * [`parallel`] — the naïve shared-nothing partitioned executor of
 //!   Figure 11.
 //! * [`presentation`] — ranking and text rendering of explanation reports.
+//!
+//! ## Example
+//!
+//! Run the one-shot MDP over a batch of points; the planted misbehaving
+//! device produces outliers:
+//!
+//! ```
+//! use macrobase_core::oneshot::MdpOneShot;
+//! use macrobase_core::types::Point;
+//!
+//! let mut points: Vec<Point> = (0..2_000)
+//!     .map(|i| Point::simple(10.0 + (i % 7) as f64 * 0.2, format!("device_{}", i % 20)))
+//!     .collect();
+//! for i in 0..20 {
+//!     points[i * 100] = Point::simple(90.0, "device_13");
+//! }
+//!
+//! let report = MdpOneShot::with_defaults().run(&points).unwrap();
+//! assert!(report.num_outliers > 0);
+//! ```
 
 #![warn(missing_docs)]
 

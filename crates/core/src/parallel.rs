@@ -40,20 +40,19 @@ pub fn run_partitioned(
 
     // Run each partition on its own scoped thread (shared-nothing: each gets
     // its own MdpOneShot and sees only its chunk).
-    let results: Vec<Result<MdpReport>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<MdpReport>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
                 let config = config.clone();
-                scope.spawn(move |_| MdpOneShot::new(config).run(chunk))
+                scope.spawn(move || MdpOneShot::new(config).run(chunk))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("partition thread panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut partition_reports = Vec::with_capacity(results.len());
     for r in results {

@@ -15,6 +15,25 @@
 //!
 //! The estimators themselves (MAD, MCD, Z-score) come from `mb-stats`; this
 //! crate layers training/thresholding policy on top of them.
+//!
+//! ## Example
+//!
+//! One-shot classification: wrap a robust estimator, train on the batch, and
+//! cut at the target percentile:
+//!
+//! ```
+//! use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
+//! use mb_stats::mad::MadEstimator;
+//!
+//! let mut metrics: Vec<Vec<f64>> =
+//!     (0..100).map(|i| vec![10.0 + (i % 5) as f64]).collect();
+//! metrics.push(vec![500.0]); // one wild reading
+//!
+//! let mut classifier =
+//!     BatchClassifier::new(MadEstimator::new(), BatchClassifierConfig::default());
+//! let labels = classifier.classify_batch(&metrics).unwrap();
+//! assert!(labels.last().unwrap().label.is_outlier());
+//! ```
 
 #![warn(missing_docs)]
 

@@ -102,10 +102,14 @@ impl<E: Estimator> StreamingClassifier<E> {
         self.points_since_retrain += 1;
         self.input_reservoir.observe(metrics.to_vec());
 
-        // Initial training once enough points are buffered.
-        if !self.model_trained && self.input_reservoir.len() >= self.config.warmup_points {
-            self.retrain();
-        } else if self.model_trained && self.points_since_retrain >= self.config.retrain_period {
+        // Initial training once enough points are buffered, then periodic
+        // retraining on the damped reservoir.
+        let due_for_training = if self.model_trained {
+            self.points_since_retrain >= self.config.retrain_period
+        } else {
+            self.input_reservoir.len() >= self.config.warmup_points
+        };
+        if due_for_training {
             self.retrain();
         }
 

@@ -92,7 +92,7 @@ impl StreamingPercentileThreshold {
 
     /// Observe a score and classify it against the current threshold.
     ///
-    /// Until [`MIN_WARMUP_SCORES`] scores have been observed the percentile
+    /// Until `MIN_WARMUP_SCORES` scores have been observed the percentile
     /// estimate is too noisy to act on, so every point is conservatively
     /// labeled an inlier; the threshold is (re)computed once warm-up ends.
     pub fn observe_and_classify(&mut self, score: f64) -> Classification {

@@ -8,7 +8,7 @@
 //!
 //! * [`encoder`] — dictionary encoding of (attribute column, value) pairs
 //!   into dense item ids used by the itemset miners.
-//! * [`risk_ratio`] — the risk-ratio statistic and explanation types.
+//! * [`mod@risk_ratio`] — the risk-ratio statistic and explanation types.
 //! * [`batch`] — the outlier-aware batch explanation strategy (Algorithm 2)
 //!   plus the naïve "mine both sides with FPGrowth" baseline it is compared
 //!   against in Section 6.3.
@@ -16,6 +16,26 @@
 //!   M-CPS-trees (Figure 2, right half).
 //! * [`baselines`] — data cubing, decision-tree, and Apriori explainers used
 //!   in the Table 5 runtime comparison.
+//!
+//! ## Example
+//!
+//! Explain a set of outlier transactions against the inlier background; item
+//! `7` dominates the outliers but never appears among inliers, so it is
+//! reported:
+//!
+//! ```
+//! use mb_explain::batch::BatchExplainer;
+//! use mb_explain::ExplanationConfig;
+//!
+//! let outliers: Vec<Vec<u32>> = (0..50)
+//!     .map(|i| if i % 10 == 0 { vec![1] } else { vec![7] })
+//!     .collect();
+//! let inliers: Vec<Vec<u32>> = (0..1_000).map(|i| vec![(i % 5) as u32 + 1]).collect();
+//!
+//! let explainer = BatchExplainer::new(ExplanationConfig::new(0.2, 3.0));
+//! let explanations = explainer.explain(&outliers, &inliers);
+//! assert!(explanations.iter().any(|e| e.items == vec![7]));
+//! ```
 
 #![warn(missing_docs)]
 

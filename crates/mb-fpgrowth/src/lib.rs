@@ -11,6 +11,21 @@
 //!
 //! Items are dense `u32` identifiers; the explanation layer maps attribute
 //! values (strings) to item ids before mining.
+//!
+//! ## Example
+//!
+//! Mine frequent itemsets from a batch of transactions with FPGrowth:
+//!
+//! ```
+//! use mb_fpgrowth::fptree::FpTree;
+//!
+//! let transactions = vec![vec![1, 2], vec![1, 2, 3], vec![1, 3]];
+//! let tree = FpTree::from_transactions(&transactions, 2.0);
+//! let frequent = tree.mine(2.0, usize::MAX);
+//! assert!(frequent
+//!     .iter()
+//!     .any(|f| f.items == vec![1, 2] && f.support == 2.0));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -17,6 +17,23 @@
 //! * [`dbsherlock`] — a generator for the DBSherlock-style OLTP anomaly
 //!   workload of Table 4 (11-server clusters, 200+ correlated performance
 //!   counters, nine anomaly types).
+//!
+//! ## Example
+//!
+//! Generate the paper's device workload (scaled down) with ground-truth
+//! anomaly labels:
+//!
+//! ```
+//! use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
+//!
+//! let workload = device_workload(&DeviceWorkloadConfig {
+//!     num_points: 1_000,
+//!     num_devices: 100,
+//!     ..DeviceWorkloadConfig::default()
+//! });
+//! assert_eq!(workload.records.len(), 1_000);
+//! assert!(workload.records.iter().any(|r| r.is_anomalous));
+//! ```
 
 #![warn(missing_docs)]
 

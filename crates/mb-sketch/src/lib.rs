@@ -21,6 +21,24 @@
 //! samplers implement [`StreamSampler`], so the classification and
 //! explanation layers can swap implementations (this is how the Figure 5 and
 //! Figure 6 comparisons are run).
+//!
+//! ## Example
+//!
+//! Track heavy hitters with the AMC sketch; estimates never underestimate
+//! true counts:
+//!
+//! ```
+//! use mb_sketch::amc::AmcSketch;
+//! use mb_sketch::HeavyHitterSketch;
+//!
+//! let mut sketch = AmcSketch::new(10, 1_000);
+//! for _ in 0..100 {
+//!     sketch.observe("hot");
+//! }
+//! sketch.observe("cold");
+//! assert!(sketch.estimate(&"hot") >= 100.0);
+//! assert_eq!(sketch.items_above(50.0).len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 

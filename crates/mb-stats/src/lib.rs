@@ -20,6 +20,19 @@
 //!
 //! All estimators implement the common [`Estimator`] trait so the
 //! classification layer can treat them uniformly.
+//!
+//! ## Example
+//!
+//! Train the robust MAD scorer on a univariate sample and score points;
+//! values far from the median score much higher than values in the bulk:
+//!
+//! ```
+//! use mb_stats::mad::MadEstimator;
+//!
+//! let mut est = MadEstimator::new();
+//! est.train_univariate(&[9.0, 10.0, 10.5, 11.0, 10.2, 9.8, 10.1]).unwrap();
+//! assert!(est.score_value(10.0).unwrap() < est.score_value(100.0).unwrap());
+//! ```
 
 #![warn(missing_docs)]
 

@@ -138,9 +138,9 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = self.row(i);
-            out[i] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+            *slot = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }

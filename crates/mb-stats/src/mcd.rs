@@ -284,8 +284,10 @@ mod tests {
 
     #[test]
     fn invalid_support_fraction_rejected() {
-        let mut cfg = FastMcdConfig::default();
-        cfg.support_fraction = 0.3;
+        let cfg = FastMcdConfig {
+            support_fraction: 0.3,
+            ..FastMcdConfig::default()
+        };
         let mut est = McdEstimator::new(cfg);
         let mut rng = SplitMix64::new(1);
         let sample = gaussian_cloud(&mut rng, 100, &[0.0, 0.0], 1.0);

@@ -1,17 +1,30 @@
 //! Random-variate generation used by MacroBase's samplers and the synthetic
 //! workload generators.
 //!
-//! The workspace's approved dependency set includes `rand` but not
-//! `rand_distr`, so the Gaussian (Box–Muller), exponential, and Zipfian
-//! samplers the evaluation needs are implemented here.
+//! The workspace builds fully offline with zero external dependencies, so
+//! instead of `rand`/`rand_distr` this module carries a minimal [`Rng`]
+//! trait, the deterministic [`SplitMix64`] generator, and the Gaussian
+//! (Box–Muller), exponential, and Zipfian samplers the evaluation needs.
 
-use rand::Rng;
+/// Minimal uniform-variate source, standing in for `rand::Rng`.
+///
+/// Implementors only supply raw 64-bit output; `[0, 1)` doubles are derived
+/// from the top 53 bits, which is the same construction `rand` uses.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// Draw a standard normal variate using the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Avoid log(0) by sampling u1 from the half-open interval (0, 1].
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1: f64 = 1.0 - rng.gen_f64();
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -23,7 +36,7 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 /// Draw an exponential variate with the given rate `lambda`.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
     assert!(lambda > 0.0, "rate must be positive");
-    let u: f64 = 1.0 - rng.gen::<f64>();
+    let u: f64 = 1.0 - rng.gen_f64();
     -u.ln() / lambda
 }
 
@@ -64,7 +77,7 @@ impl Zipf {
 
     /// Draw one item index in `[0, n)`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         match self
             .cdf
             .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
@@ -75,11 +88,11 @@ impl Zipf {
     }
 }
 
-/// Deterministic xorshift-based RNG for tests and reproducible workloads.
+/// Deterministic SplitMix64 RNG for tests and reproducible workloads.
 ///
-/// Wrapping `rand::rngs::StdRng::seed_from_u64` everywhere is fine too, but a
-/// tiny local PCG keeps generator state explicit in bench harnesses that must
-/// be byte-for-byte reproducible across runs.
+/// A tiny local generator keeps state explicit in bench harnesses that must
+/// be byte-for-byte reproducible across runs, and avoids any external
+/// dependency.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
     state: u64,
@@ -102,7 +115,7 @@ impl SplitMix64 {
 
     /// Uniform f64 in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        Rng::gen_f64(self)
     }
 
     /// Uniform usize in `[0, bound)`.
@@ -112,30 +125,9 @@ impl SplitMix64 {
     }
 }
 
-impl rand::RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
+impl Rng for SplitMix64 {
     fn next_u64(&mut self) -> u64 {
         SplitMix64::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = self.next_u64().to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -15,6 +15,21 @@
 //! * [`truncate`] — dimensionality truncation (keep the first `k` metrics).
 //! * [`flow`] — a pure-Rust optical-flow-magnitude transform over frame
 //!   pairs, standing in for the OpenCV transform of the video case study.
+//!
+//! ## Example
+//!
+//! Z-normalize metric columns so downstream estimators see comparable
+//! scales:
+//!
+//! ```
+//! use mb_transform::normalize::ZNormalizer;
+//!
+//! let rows = vec![vec![0.0, 100.0], vec![10.0, 200.0], vec![20.0, 300.0]];
+//! let normalizer = ZNormalizer::fit(&rows).unwrap();
+//! let out = normalizer.transform_batch(&rows).unwrap();
+//! // The middle row sits exactly at the per-column mean.
+//! assert!(out[1][0].abs() < 1e-9 && out[1][1].abs() < 1e-9);
+//! ```
 
 #![warn(missing_docs)]
 

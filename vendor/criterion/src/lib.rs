@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the surface MacroBase-RS's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a deliberately simple measurement loop: one warm-up call, then
+//! `MB_BENCH_ITERS` timed calls (default 3), reporting min and median wall
+//! time plus derived throughput. No statistics, plots, or baselines; swap in
+//! real criterion (see `vendor/README.md`) when crates.io access exists.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from eliding a benchmarked
+/// computation, mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identify a benchmark by parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Call `routine` once to warm up, then time it `MB_BENCH_ITERS` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.into(), None, f);
+    }
+}
+
+/// A named group of benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's iteration count comes
+    /// from `MB_BENCH_ITERS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a named benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.throughput, f);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn configured_iters() -> usize {
+    std::env::var("MB_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters: configured_iters(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {label:<40} (no samples)");
+        return;
+    }
+    bencher.samples.sort();
+    let min = bencher.samples[0];
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let rate = throughput
+        .map(|t| {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let per_s = count as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE);
+            format!("  {per_s:.3e} {unit}")
+        })
+        .unwrap_or_default();
+    println!(
+        "  {label:<40} min {:>12?}  median {:>12?}{rate}",
+        min, median
+    );
+}
+
+/// Define a function running a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: 4,
+        };
+        let mut calls = 0usize;
+        b.iter(|| calls += 1);
+        // One warm-up call plus four timed calls.
+        assert_eq!(calls, 5);
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("amc", 100).to_string(), "amc/100");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 2), &2, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the surface MacroBase-RS's unit tests use — the [`proptest!`]
+//! macro, [`Strategy`] for integer/float ranges, [`collection::vec`],
+//! [`ProptestConfig::with_cases`], and `prop_assert!`/`prop_assert_eq!` —
+//! as deterministic randomized tests: each property runs a fixed number of
+//! cases drawn from a seeded SplitMix64 stream. No shrinking, no persistence
+//! of failing cases; failures report the case index instead. See
+//! `vendor/README.md` for the rationale.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Deterministic generator state threaded through strategies.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Create a runner from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRunner { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (runner.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        })*
+    };
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (runner.next_f64() as $t) * (self.end - self.start)
+            }
+        })*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// Strategy generating `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        length: Range<usize>,
+    }
+
+    /// Generate vectors of values from `element` with length in `length`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.length, runner);
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+/// Per-property configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the stand-in has no shrinking, so a
+        // smaller default keeps `cargo test` latency reasonable while still
+        // exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Define property tests: each `fn` runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident $args:tt $body:block)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $(#[test] fn $name $args $body)*);
+    };
+    (@impl ($config:expr); $(
+        #[test]
+        fn $name:ident( $($pat:pat_param in $strategy:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Seed from the property name so distinct properties explore
+                // distinct streams, deterministically across runs.
+                let seed = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf29ce484222325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x100000001b3)
+                    });
+                for case in 0..config.cases {
+                    let mut runner =
+                        $crate::TestRunner::new(seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    $(let $pat = $crate::Strategy::sample(&($strategy), &mut runner);)*
+                    #[allow(unused_mut)]
+                    let mut run = move || -> ::std::result::Result<(), String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(message) = run() {
+                        panic!("property {} failed at case {case}: {message}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = crate::TestRunner::new(1);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(3usize..17), &mut runner);
+            assert!((3..17).contains(&x));
+            let f = Strategy::sample(&(-2.0f64..4.0), &mut runner);
+            assert!((-2.0..4.0).contains(&f));
+            let signed = Strategy::sample(&(-5i32..5), &mut runner);
+            assert!((-5..5).contains(&signed));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut runner = crate::TestRunner::new(2);
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0u32..30, 1..9), &mut runner);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 30));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_round_trip(mut data in prop::collection::vec(0u64..100, 0..20), k in 1usize..5) {
+            data.push(k as u64);
+            prop_assert!(!data.is_empty());
+            prop_assert_eq!(data.last().copied(), Some(k as u64));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRunner::new(7);
+        let mut b = crate::TestRunner::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

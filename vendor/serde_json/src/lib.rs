@@ -1,0 +1,417 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Implements the exact surface the MacroBase-RS workspace uses — the
+//! [`json!`] macro, [`Value`], [`Map`], and JSON text serialization through
+//! [`std::fmt::Display`] — so harness binaries can emit machine-readable
+//! result rows without a crates.io dependency. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// An object, preserving insertion order.
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: integer or finite float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating point number.
+    Float(f64),
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map`.
+///
+/// Backed by a `Vec` of pairs: the harness emits small flat objects, so
+/// linear-scan insertion is cheaper and keeps key order stable in output.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert a key/value pair, replacing and returning any previous value
+    /// for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in self.entries.iter_mut() {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Value {
+    /// Borrow the object map if this value is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the object map if this value is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Return the number as `f64` if this value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::UInt(u)) => Some(*u as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::Int(v as i64))
+            }
+        })*
+    };
+}
+
+from_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::UInt(v)),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Convert any supported type into a [`Value`].
+pub fn to_value<T: Into<Value>>(v: T) -> Value {
+    v.into()
+}
+
+/// By-reference conversion into [`Value`], used by the [`json!`] macro so
+/// that (matching upstream serde_json) macro operands are borrowed, not
+/// moved.
+pub trait ToJson {
+    /// Convert to a JSON value without consuming `self`.
+    fn to_json(&self) -> Value;
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::from(self.clone())
+            }
+        })*
+    };
+}
+
+to_json_via_from!(
+    i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, bool, String
+);
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(v) if v.is_finite() => {
+                // Match serde_json: floats always carry a fractional part.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no NaN/Infinity; serde_json refuses them at
+            // construction, we serialize as null at the use site instead.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Build a [`Value`] from a JSON-like literal.
+///
+/// Supports the subset the workspace uses: `null`, flat
+/// `{ "key": expr, ... }` objects, `[expr, ...]` arrays, and bare
+/// expressions convertible via [`Into<Value>`]. Nest objects by writing
+/// `json!({ "outer": json!({ "inner": 1 }) })` — unlike upstream, bare
+/// nested braces are not parsed.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::ToJson::to_json(&$elem)),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::ToJson::to_json(&$value)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_round_trips() {
+        let v = json!({"name": "mcd", "dim": 32usize, "secs": 1.5, "ok": true});
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"mcd","dim":32,"secs":1.5,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_fraction() {
+        assert_eq!(json!(2.0f64).to_string(), "2.0");
+        assert_eq!(json!(2.5f64).to_string(), "2.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json!("a\"b\\c\n").to_string(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn nested_values_work() {
+        let v = json!({"outer": json!({"inner": json!([1, 2, 3])}), "empty": Value::Null});
+        assert_eq!(v.to_string(), r#"{"outer":{"inner":[1,2,3]},"empty":null}"#);
+    }
+
+    #[test]
+    fn insert_replaces_and_preserves_order() {
+        let mut v = json!({"a": 1, "b": 2});
+        let map = v.as_object_mut().unwrap();
+        assert_eq!(map.insert("a".into(), json!(9)), Some(json!(1)));
+        assert_eq!(map.insert("c".into(), json!(3)), None);
+        assert_eq!(v.to_string(), r#"{"a":9,"b":2,"c":3}"#);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = json!({"s": "x", "n": 4});
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(obj.get("n").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(obj.len(), 2);
+        assert!(!obj.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Coordinated partitioned execution: the mergeable-state answer to the
+//! naïve shared-nothing scale-out of Appendix D.
+//!
+//! [`run_partitioned`] trades accuracy for cores: every partition trains its
+//! own model, cuts its own threshold, prunes by its own local support, and
+//! the partitions' *rendered* explanations are unioned after the fact — so
+//! accuracy degrades as partitions shrink (the Figure 11 trade-off). In the
+//! spirit of coordination-avoiding execution, [`run_coordinated`] keeps the
+//! communication-free partition loop but reconciles through mergeable state
+//! instead of rendered strings:
+//!
+//! 1. **One model** — the robust estimator is fitted once on the global
+//!    batch (honoring the configured training-sample cap) and broadcast to
+//!    partitions by reference; partitions score in parallel against it.
+//! 2. **One threshold** — the percentile cutoff is computed over the merged
+//!    score vector, not per partition.
+//! 3. **Merged explanation state** — each partition builds a pre-render
+//!    [`ExplainState`] (encoded itemset counts + class totals); states merge
+//!    on items ([`Mergeable`]) and support/risk-ratio thresholds apply to
+//!    the *merged* counts.
+//!
+//! The result is the one-shot report — same explanation set, same counts up
+//! to floating-point summation order — for any partition count, while the
+//! scoring and counting passes (the bulk of the work) still scale with
+//! cores.
+//!
+//! [`run_partitioned`]: crate::parallel::run_partitioned
+
+use crate::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
+use crate::parallel::{partition_chunks, scatter};
+use crate::types::{MdpReport, Point, RenderedExplanation};
+use crate::Result;
+use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
+use mb_classify::threshold::StaticThreshold;
+use mb_explain::batch::BatchExplainer;
+use mb_explain::encoder::AttributeEncoder;
+use mb_explain::partition::ExplainState;
+use mb_explain::risk_ratio::rank_explanations;
+use mb_explain::Mergeable;
+use mb_fpgrowth::Item;
+use mb_stats::mad::MadEstimator;
+use mb_stats::mcd::McdEstimator;
+use mb_stats::zscore::ZScoreEstimator;
+use mb_stats::Estimator;
+
+/// Execute `config` over `points` split into `num_partitions` partitions
+/// with a shared trained model, a global score threshold, and merged
+/// explanation state. Produces exactly the report [`MdpOneShot::run`] would,
+/// for any partition count.
+pub fn run_coordinated(
+    points: &[Point],
+    num_partitions: usize,
+    config: &MdpConfig,
+) -> Result<MdpReport> {
+    assert!(num_partitions > 0, "need at least one partition");
+    let dim = MdpOneShot::check_dimensions(points)?;
+    match config.estimator.resolve(dim) {
+        EstimatorKind::Mad => run_with(MadEstimator::new(), points, num_partitions, config),
+        EstimatorKind::ZScore => run_with(ZScoreEstimator::new(), points, num_partitions, config),
+        EstimatorKind::Mcd => {
+            run_with(McdEstimator::with_defaults(), points, num_partitions, config)
+        }
+        EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
+    }
+}
+
+fn run_with<E: Estimator + Sync>(
+    estimator: E,
+    points: &[Point],
+    num_partitions: usize,
+    config: &MdpConfig,
+) -> Result<MdpReport> {
+    let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
+
+    // Train once on the global batch (or its configured sample) and
+    // broadcast the fitted model to partitions by shared reference.
+    let mut classifier = BatchClassifier::new(
+        estimator,
+        BatchClassifierConfig {
+            target_percentile: config.target_percentile,
+            training_sample_size: config.training_sample_size,
+        },
+    );
+    classifier.fit(&metrics)?;
+
+    // Scatter: partitions score communication-free against the shared model.
+    let classifier_ref = &classifier;
+    let score_chunks: Vec<mb_stats::Result<Vec<f64>>> =
+        scatter(partition_chunks(&metrics, num_partitions), |chunk| {
+            chunk.iter().map(|row| classifier_ref.score_point(row)).collect()
+        });
+    let mut scores: Vec<f64> = Vec::with_capacity(points.len());
+    for chunk in score_chunks {
+        scores.extend(chunk?);
+    }
+
+    // Gather: one percentile threshold over the merged score vector.
+    let threshold = StaticThreshold::from_scores(&scores, config.target_percentile)
+        .map_err(crate::PipelineError::from)?;
+    let cutoff = threshold.cutoff();
+    let num_outliers = scores.iter().filter(|&&s| s >= cutoff).count();
+
+    let explanations = if config.skip_explanation {
+        Vec::new()
+    } else {
+        // Encode attributes once so item ids agree across partitions (the
+        // naïve mode's per-partition encoders are why it can only union
+        // rendered strings).
+        let mut encoder = if config.attribute_names.is_empty() {
+            AttributeEncoder::new()
+        } else {
+            AttributeEncoder::with_column_names(config.attribute_names.clone())
+        };
+        let transactions: Vec<Vec<Item>> = points
+            .iter()
+            .map(|p| encoder.encode_point(&p.attributes))
+            .collect();
+
+        // Scatter: per-partition pre-render explanation state.
+        let txn_chunks = partition_chunks(&transactions, num_partitions);
+        let label_chunks = partition_chunks(&scores, num_partitions);
+        let work: Vec<(&[Vec<Item>], &[f64])> =
+            txn_chunks.into_iter().zip(label_chunks).collect();
+        let states: Vec<ExplainState> = scatter(work, |(txns, chunk_scores)| {
+            let mut state = ExplainState::new();
+            for (items, score) in txns.iter().zip(chunk_scores.iter()) {
+                state.observe(items, *score >= cutoff);
+            }
+            state
+        });
+
+        // Gather: merge on items, then threshold on the merged counts.
+        let mut merged = ExplainState::new();
+        for state in states {
+            merged.merge(state);
+        }
+        let explainer = BatchExplainer::new(config.explanation);
+        let mut explanations = explainer.explain_state(&merged);
+        rank_explanations(&mut explanations);
+        explanations
+            .into_iter()
+            .map(|e| RenderedExplanation {
+                attributes: encoder.describe(&e.items),
+                items: e.items,
+                stats: e.stats,
+            })
+            .collect()
+    };
+
+    Ok(MdpReport {
+        explanations,
+        num_points: points.len(),
+        num_outliers,
+        score_cutoff: Some(cutoff),
+        scores: if config.retain_scores {
+            scores
+        } else {
+            Vec::new()
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_explain::ExplanationConfig;
+
+    fn workload(n: usize) -> Vec<Point> {
+        let mut points: Vec<Point> = (0..n)
+            .map(|i| {
+                Point::new(
+                    vec![10.0 + (i % 9) as f64 * 0.2],
+                    vec![format!("device_{}", i % 60)],
+                )
+            })
+            .collect();
+        for i in 0..(n / 100) {
+            points[i * 100] = Point::new(vec![400.0], vec!["device_bad".to_string()]);
+        }
+        points
+    }
+
+    fn config() -> MdpConfig {
+        MdpConfig {
+            explanation: ExplanationConfig::new(0.01, 3.0),
+            attribute_names: vec!["device_id".to_string()],
+            ..MdpConfig::default()
+        }
+    }
+
+    fn attribute_sets(report: &MdpReport) -> Vec<Vec<String>> {
+        let mut sets: Vec<Vec<String>> = report
+            .explanations
+            .iter()
+            .map(|e| {
+                let mut attrs = e.attributes.clone();
+                attrs.sort();
+                attrs
+            })
+            .collect();
+        sets.sort();
+        sets
+    }
+
+    #[test]
+    fn coordinated_reproduces_one_shot_for_any_partition_count() {
+        let points = workload(20_000);
+        let one_shot = MdpOneShot::new(config()).run(&points).unwrap();
+        for num_partitions in [1, 2, 3, 4, 8] {
+            let coordinated = run_coordinated(&points, num_partitions, &config()).unwrap();
+            assert_eq!(coordinated.num_outliers, one_shot.num_outliers);
+            assert_eq!(coordinated.score_cutoff, one_shot.score_cutoff);
+            assert_eq!(
+                attribute_sets(&coordinated),
+                attribute_sets(&one_shot),
+                "explanation sets diverged at {num_partitions} partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn coordinated_respects_skip_explanation_and_retain_scores() {
+        let points = workload(5_000);
+        let report = run_coordinated(
+            &points,
+            4,
+            &MdpConfig {
+                skip_explanation: true,
+                retain_scores: true,
+                ..config()
+            },
+        )
+        .unwrap();
+        assert!(report.explanations.is_empty());
+        assert_eq!(report.scores.len(), 5_000);
+        assert!(report.num_outliers > 0);
+    }
+
+    #[test]
+    fn coordinated_rejects_empty_input() {
+        assert!(run_coordinated(&[], 4, &config()).is_err());
+    }
+
+    #[test]
+    fn more_partitions_than_points_still_works() {
+        let points = workload(500);
+        let report = run_coordinated(&points, 8, &config()).unwrap();
+        assert_eq!(report.num_points, 500);
+        assert!(report
+            .explanations
+            .iter()
+            .any(|e| e.attributes.iter().any(|a| a.contains("device_bad"))));
+    }
+}

@@ -17,6 +17,9 @@
 //!   and the risk-ratio explainer (used by the Section 6.4 case studies).
 //! * [`parallel`] — the naïve shared-nothing partitioned executor of
 //!   Figure 11.
+//! * [`coordinated`] — coordinated partitioned execution: shared trained
+//!   model, global threshold, merged (mergeable) explanation state;
+//!   reproduces the one-shot report at any partition count.
 //! * [`presentation`] — ranking and text rendering of explanation reports.
 //!
 //! ## Example
@@ -41,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod coordinated;
 pub mod operator;
 pub mod oneshot;
 pub mod parallel;
@@ -49,7 +53,9 @@ pub mod presentation;
 pub mod streaming;
 pub mod types;
 
+pub use coordinated::run_coordinated;
 pub use mb_classify::Label;
+pub use parallel::run_partitioned;
 pub use oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use streaming::{MdpStreaming, StreamingMdpConfig};

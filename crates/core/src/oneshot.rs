@@ -29,6 +29,26 @@ pub enum EstimatorKind {
     ZScore,
 }
 
+impl EstimatorKind {
+    /// Resolve [`Auto`] to a concrete estimator for `dim`-dimensional
+    /// metrics. This is THE selection rule — every executor (one-shot and
+    /// coordinated) dispatches through it so the modes cannot diverge.
+    ///
+    /// [`Auto`]: EstimatorKind::Auto
+    pub fn resolve(self, dim: usize) -> EstimatorKind {
+        match self {
+            EstimatorKind::Auto => {
+                if dim == 1 {
+                    EstimatorKind::Mad
+                } else {
+                    EstimatorKind::Mcd
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
+
 /// Configuration of a one-shot MDP query.
 #[derive(Debug, Clone)]
 pub struct MdpConfig {
@@ -82,7 +102,7 @@ impl MdpOneShot {
     }
 
     /// Validate that all points share one metric dimensionality; returns it.
-    fn check_dimensions(points: &[Point]) -> Result<usize> {
+    pub(crate) fn check_dimensions(points: &[Point]) -> Result<usize> {
         let first = points.first().ok_or(PipelineError::EmptyInput)?;
         let dim = first.dimension();
         if dim == 0 {
@@ -123,17 +143,11 @@ impl MdpOneShot {
         let dim = Self::check_dimensions(points)?;
         let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
 
-        let (classifications, cutoff) = match self.config.estimator {
+        let (classifications, cutoff) = match self.config.estimator.resolve(dim) {
             EstimatorKind::Mad => self.classify_with(MadEstimator::new(), &metrics)?,
             EstimatorKind::ZScore => self.classify_with(ZScoreEstimator::new(), &metrics)?,
             EstimatorKind::Mcd => self.classify_with(McdEstimator::with_defaults(), &metrics)?,
-            EstimatorKind::Auto => {
-                if dim == 1 {
-                    self.classify_with(MadEstimator::new(), &metrics)?
-                } else {
-                    self.classify_with(McdEstimator::with_defaults(), &metrics)?
-                }
-            }
+            EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
         };
 
         let num_outliers = classifications

@@ -10,6 +10,37 @@
 use crate::oneshot::{MdpConfig, MdpOneShot};
 use crate::types::{MdpReport, Point, RenderedExplanation};
 use crate::Result;
+use std::collections::HashMap;
+
+/// Split a slice into `num_partitions` contiguous chunks (the last may be
+/// short). Shared by the naïve and coordinated partitioned executors.
+pub(crate) fn partition_chunks<T>(items: &[T], num_partitions: usize) -> Vec<&[T]> {
+    assert!(num_partitions > 0, "need at least one partition");
+    let chunk_size = items.len().div_ceil(num_partitions);
+    items.chunks(chunk_size.max(1)).collect()
+}
+
+/// Run `work` over each chunk on its own scoped thread and collect the
+/// results in chunk order — the scatter half of the partitioned executors.
+/// Threads share nothing except what `work` captures by reference.
+pub(crate) fn scatter<I, O, F>(chunks: Vec<I>, work: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || work(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition thread panicked"))
+            .collect()
+    })
+}
 
 /// The result of a partitioned run: per-partition reports plus the unioned
 /// explanation set.
@@ -31,28 +62,15 @@ pub fn run_partitioned(
     num_partitions: usize,
     config: &MdpConfig,
 ) -> Result<PartitionedReport> {
-    assert!(num_partitions > 0, "need at least one partition");
     if points.is_empty() {
         return Err(crate::PipelineError::EmptyInput);
     }
-    let chunk_size = points.len().div_ceil(num_partitions);
-    let chunks: Vec<&[Point]> = points.chunks(chunk_size).collect();
+    let chunks = partition_chunks(points, num_partitions);
 
     // Run each partition on its own scoped thread (shared-nothing: each gets
     // its own MdpOneShot and sees only its chunk).
-    let results: Vec<Result<MdpReport>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let config = config.clone();
-                scope.spawn(move || MdpOneShot::new(config).run(chunk))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition thread panicked"))
-            .collect()
-    });
+    let results: Vec<Result<MdpReport>> =
+        scatter(chunks, |chunk| MdpOneShot::new(config.clone()).run(chunk));
 
     let mut partition_reports = Vec::with_capacity(results.len());
     for r in results {
@@ -60,17 +78,22 @@ pub fn run_partitioned(
     }
 
     // Union explanations across partitions, deduplicating by the rendered
-    // attribute combination and keeping the highest risk ratio observed.
+    // attribute combination (index by combination, keep the highest risk
+    // ratio observed for it).
     let mut merged: Vec<RenderedExplanation> = Vec::new();
+    let mut by_combination: HashMap<Vec<String>, usize> = HashMap::new();
     for report in &partition_reports {
         for e in &report.explanations {
-            match merged.iter_mut().find(|m| m.attributes == e.attributes) {
-                Some(existing) => {
-                    if e.stats.risk_ratio > existing.stats.risk_ratio {
-                        existing.stats = e.stats.clone();
+            match by_combination.get(&e.attributes) {
+                Some(&idx) => {
+                    if e.stats.risk_ratio > merged[idx].stats.risk_ratio {
+                        merged[idx].stats = e.stats.clone();
                     }
                 }
-                None => merged.push(e.clone()),
+                None => {
+                    by_combination.insert(e.attributes.clone(), merged.len());
+                    merged.push(e.clone());
+                }
             }
         }
     }

@@ -48,10 +48,20 @@ impl<E: Estimator> BatchClassifier<E> {
         }
     }
 
-    /// Train the estimator and threshold, then score and label every point.
+    /// Train the estimator on `metrics` (honoring the configured training
+    /// sample cap) without scoring or thresholding.
     ///
-    /// Returns one [`Classification`] per input row, in input order.
-    pub fn classify_batch(&mut self, metrics: &[Vec<f64>]) -> Result<Vec<Classification>> {
+    /// This is the model half of [`classify_batch`], split out so a single
+    /// globally fitted model can be broadcast to partitions: fit once, share
+    /// the classifier by reference across threads (the trained estimators
+    /// are plain data, hence `Sync`), and score with [`score_point`]. The
+    /// threshold can then be derived from the *merged* partition scores and
+    /// installed with [`set_threshold`].
+    ///
+    /// [`classify_batch`]: BatchClassifier::classify_batch
+    /// [`score_point`]: BatchClassifier::score_point
+    /// [`set_threshold`]: BatchClassifier::set_threshold
+    pub fn fit(&mut self, metrics: &[Vec<f64>]) -> Result<()> {
         if metrics.is_empty() {
             return Err(StatsError::EmptyInput);
         }
@@ -65,12 +75,32 @@ impl<E: Estimator> BatchClassifier<E> {
         match self.config.training_sample_size {
             Some(k) if k > 0 && k < metrics.len() => {
                 let stride = metrics.len().div_ceil(k);
-                let sample: Vec<Vec<f64>> =
-                    metrics.iter().step_by(stride).cloned().collect();
-                self.estimator.train(&sample)?;
+                let sample: Vec<Vec<f64>> = metrics.iter().step_by(stride).cloned().collect();
+                self.estimator.train(&sample)
             }
-            _ => self.estimator.train(metrics)?,
+            _ => self.estimator.train(metrics),
         }
+    }
+
+    /// Score a single point with the fitted model, without classifying it
+    /// (no threshold required, unlike [`classify_point`]).
+    ///
+    /// [`classify_point`]: BatchClassifier::classify_point
+    pub fn score_point(&self, metrics: &[f64]) -> Result<f64> {
+        self.estimator.score(metrics)
+    }
+
+    /// Install an externally computed threshold — e.g. the global percentile
+    /// cutoff of scores merged across partitions.
+    pub fn set_threshold(&mut self, threshold: StaticThreshold) {
+        self.threshold = Some(threshold);
+    }
+
+    /// Train the estimator and threshold, then score and label every point.
+    ///
+    /// Returns one [`Classification`] per input row, in input order.
+    pub fn classify_batch(&mut self, metrics: &[Vec<f64>]) -> Result<Vec<Classification>> {
+        self.fit(metrics)?;
         // Score everything.
         let scores: Vec<f64> = metrics
             .iter()
@@ -221,6 +251,60 @@ mod tests {
             .collect();
         let injected_found = (0..200).filter(|i| flagged.contains(&(i * 100))).count();
         assert!(injected_found >= 190, "found only {injected_found} of 200");
+    }
+
+    #[test]
+    fn fit_then_broadcast_matches_classify_batch() {
+        // The fit/score/set_threshold decomposition must reproduce
+        // classify_batch exactly: same model, same scores, same labels.
+        let mut rng = SplitMix64::new(6);
+        let mut metrics: Vec<Vec<f64>> = (0..10_000)
+            .map(|_| vec![normal(&mut rng, 10.0, 1.0)])
+            .collect();
+        for i in 0..100 {
+            metrics[i * 100] = vec![normal(&mut rng, 60.0, 1.0)];
+        }
+        let config = BatchClassifierConfig::default();
+        let mut reference = BatchClassifier::new(MadEstimator::new(), config);
+        let expected = reference.classify_batch(&metrics).unwrap();
+
+        let mut shared = BatchClassifier::new(MadEstimator::new(), config);
+        shared.fit(&metrics).unwrap();
+        // "Partitions" score against the shared model by reference.
+        let shared_ref = &shared;
+        let scores: Vec<f64> = metrics
+            .iter()
+            .map(|row| shared_ref.score_point(row).unwrap())
+            .collect();
+        let threshold =
+            StaticThreshold::from_scores(&scores, config.target_percentile).unwrap();
+        shared.set_threshold(threshold);
+        assert_eq!(
+            shared.threshold().unwrap().cutoff(),
+            reference.threshold().unwrap().cutoff()
+        );
+        for (row, expected) in metrics.iter().zip(expected.iter()) {
+            let got = shared.classify_point(row).unwrap();
+            assert_eq!(got.label, expected.label);
+            assert_eq!(got.score, expected.score);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_invalid_config() {
+        let mut c = BatchClassifier::new(MadEstimator::new(), BatchClassifierConfig::default());
+        assert!(matches!(c.fit(&[]), Err(StatsError::EmptyInput)));
+        let mut bad = BatchClassifier::new(
+            MadEstimator::new(),
+            BatchClassifierConfig {
+                target_percentile: -1.0,
+                training_sample_size: None,
+            },
+        );
+        assert!(matches!(
+            bad.fit(&[vec![1.0]]),
+            Err(StatsError::InvalidParameter(_))
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! one more restricted pass over the inliers to compute combination risk
 //! ratios. The naïve baseline instead mines both classes in full.
 
+use crate::partition::ExplainState;
 use crate::risk_ratio::{risk_ratio_from_totals, Explanation, ExplanationStats};
 use crate::ExplanationConfig;
 use mb_fpgrowth::fptree::FpTree;
@@ -30,21 +31,62 @@ impl BatchExplainer {
     /// Produce explanations for a batch of outlier and inlier transactions
     /// (each transaction is one point's encoded attribute items).
     pub fn explain(&self, outliers: &[Vec<Item>], inliers: &[Vec<Item>]) -> Vec<Explanation> {
-        let total_outliers = outliers.len() as f64;
-        let total_inliers = inliers.len() as f64;
-        if outliers.is_empty() {
+        let weighted_outliers: Vec<(&[Item], f64)> =
+            outliers.iter().map(|t| (t.as_slice(), 1.0)).collect();
+        let weighted_inliers: Vec<(&[Item], f64)> =
+            inliers.iter().map(|t| (t.as_slice(), 1.0)).collect();
+        self.explain_weighted(
+            &weighted_outliers,
+            &weighted_inliers,
+            outliers.len() as f64,
+            inliers.len() as f64,
+        )
+    }
+
+    /// Produce explanations from pre-render state — typically the merge of
+    /// per-partition [`ExplainState`]s. Support and risk-ratio thresholds
+    /// are applied to the *merged* counts, so the result is identical to
+    /// explaining the concatenated partitions in one shot (no string-level
+    /// union, no per-partition pruning).
+    pub fn explain_state(&self, state: &ExplainState) -> Vec<Explanation> {
+        let outliers = state.outlier_transactions();
+        let inliers = state.inlier_transactions();
+        let weighted_outliers: Vec<(&[Item], f64)> =
+            outliers.iter().map(|(t, w)| (t.as_slice(), *w)).collect();
+        let weighted_inliers: Vec<(&[Item], f64)> =
+            inliers.iter().map(|(t, w)| (t.as_slice(), *w)).collect();
+        self.explain_weighted(
+            &weighted_outliers,
+            &weighted_inliers,
+            state.total_outliers(),
+            state.total_inliers(),
+        )
+    }
+
+    /// The outlier-aware strategy over weighted, possibly pre-aggregated
+    /// transactions. `total_outliers`/`total_inliers` are passed explicitly
+    /// because attribute-less points count toward class totals without
+    /// appearing as transactions.
+    fn explain_weighted(
+        &self,
+        outliers: &[(&[Item], f64)],
+        inliers: &[(&[Item], f64)],
+        total_outliers: f64,
+        total_inliers: f64,
+    ) -> Vec<Explanation> {
+        if total_outliers <= 0.0 {
             return Vec::new();
         }
         let min_outlier_count = (self.config.min_support * total_outliers).max(1.0);
 
         // Stage 1a: count single attribute values over the (small) outlier set.
         let mut outlier_singles: HashMap<Item, f64> = HashMap::new();
-        for transaction in outliers {
-            let mut seen: Vec<Item> = transaction.clone();
+        for (transaction, weight) in outliers {
+            let mut seen: Vec<Item> = transaction.to_vec();
             seen.sort_unstable();
             seen.dedup();
             for item in seen {
-                *outlier_singles.entry(item).or_insert(0.0) += 1.0;
+                *outlier_singles.entry(item).or_insert(0.0) += weight;
             }
         }
         let supported_singles: HashSet<Item> = outlier_singles
@@ -59,7 +101,7 @@ impl BatchExplainer {
         // Stage 1b: one pass over the inliers counting ONLY the supported
         // candidates (this is the cardinality-aware pruning).
         let mut inlier_singles: HashMap<Item, f64> = HashMap::new();
-        for transaction in inliers {
+        for (transaction, weight) in inliers {
             let mut seen: Vec<Item> = transaction
                 .iter()
                 .copied()
@@ -68,7 +110,7 @@ impl BatchExplainer {
             seen.sort_unstable();
             seen.dedup();
             for item in seen {
-                *inlier_singles.entry(item).or_insert(0.0) += 1.0;
+                *inlier_singles.entry(item).or_insert(0.0) += weight;
             }
         }
 
@@ -91,13 +133,13 @@ impl BatchExplainer {
         // surviving attribute values.
         let filtered_outliers: Vec<(Vec<Item>, f64)> = outliers
             .iter()
-            .map(|t| {
+            .map(|(t, weight)| {
                 (
                     t.iter()
                         .copied()
                         .filter(|item| surviving.contains(item))
                         .collect::<Vec<Item>>(),
-                    1.0,
+                    *weight,
                 )
             })
             .filter(|(items, _)| !items.is_empty())
@@ -111,7 +153,7 @@ impl BatchExplainer {
         let combos: Vec<&FrequentItemset> = mined.iter().filter(|m| m.len() >= 2).collect();
         let mut combo_inlier_counts: HashMap<&[Item], f64> = HashMap::new();
         if !combos.is_empty() {
-            for transaction in inliers {
+            for (transaction, weight) in inliers {
                 let present: HashSet<Item> = transaction
                     .iter()
                     .copied()
@@ -122,7 +164,8 @@ impl BatchExplainer {
                 }
                 for combo in &combos {
                     if combo.items.iter().all(|item| present.contains(item)) {
-                        *combo_inlier_counts.entry(combo.items.as_slice()).or_insert(0.0) += 1.0;
+                        *combo_inlier_counts.entry(combo.items.as_slice()).or_insert(0.0) +=
+                            weight;
                     }
                 }
             }
@@ -329,6 +372,71 @@ mod tests {
             .filter(|e| naive_keys.contains(&e.items))
             .count();
         assert!(overlap >= optimized_with_finite_rr.min(naive.len()));
+    }
+
+    fn assert_same_explanations(mut a: Vec<Explanation>, mut b: Vec<Explanation>) {
+        rank_explanations(&mut a);
+        rank_explanations(&mut b);
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "explanation sets differ in size: {a:?} vs {b:?}"
+        );
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.items, y.items);
+            assert!((x.stats.outlier_count - y.stats.outlier_count).abs() < 1e-9);
+            assert!((x.stats.inlier_count - y.stats.inlier_count).abs() < 1e-9);
+            let same_ratio = (x.stats.risk_ratio - y.stats.risk_ratio).abs() < 1e-9
+                || (x.stats.risk_ratio.is_infinite() && y.stats.risk_ratio.is_infinite());
+            assert!(same_ratio, "risk ratios differ: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn explain_state_is_exactly_explain() {
+        let (outliers, inliers) = planted_workload(1_000, 20_000, 0.8);
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.01, 3.0));
+        let mut state = ExplainState::new();
+        for t in &outliers {
+            state.observe(t, true);
+        }
+        for t in &inliers {
+            state.observe(t, false);
+        }
+        assert_same_explanations(
+            explainer.explain_state(&state),
+            explainer.explain(&outliers, &inliers),
+        );
+    }
+
+    #[test]
+    fn merged_partition_states_reproduce_one_shot_explanations() {
+        use mb_sketch::Mergeable;
+        let (outliers, inliers) = planted_workload(1_000, 20_000, 0.7);
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.01, 3.0));
+        // Scatter the classified stream over 4 partition states round-robin,
+        // so per-partition supports are well below the global threshold.
+        let mut states: Vec<ExplainState> = (0..4).map(|_| ExplainState::new()).collect();
+        for (i, t) in outliers.iter().enumerate() {
+            states[i % 4].observe(t, true);
+        }
+        for (i, t) in inliers.iter().enumerate() {
+            states[i % 4].observe(t, false);
+        }
+        let mut merged = states.remove(0);
+        for state in states {
+            merged.merge(state);
+        }
+        assert_same_explanations(
+            explainer.explain_state(&merged),
+            explainer.explain(&outliers, &inliers),
+        );
+    }
+
+    #[test]
+    fn explain_state_on_empty_state_is_empty() {
+        let explainer = BatchExplainer::new(ExplanationConfig::default());
+        assert!(explainer.explain_state(&ExplainState::new()).is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::ExplanationConfig;
 use mb_fpgrowth::mcps::{McpsConfig, McpsTree};
 use mb_fpgrowth::Item;
 use mb_sketch::amc::{AmcSketch, MaintenancePolicy};
-use mb_sketch::HeavyHitterSketch;
+use mb_sketch::{HeavyHitterSketch, Mergeable};
 use std::collections::{HashMap, HashSet};
 
 /// Configuration for the streaming explainer.
@@ -213,6 +213,22 @@ impl StreamingExplainer {
     }
 }
 
+impl Mergeable for StreamingExplainer {
+    /// Merge another streaming explainer built over a disjoint sub-stream
+    /// with the same configuration: the pre-render state — per-class AMC
+    /// sketches, M-CPS-trees, and decayed class totals — merges on items,
+    /// so explanations computed from the merged operator reflect combined
+    /// counts rather than a union of separately thresholded result sets.
+    fn merge(&mut self, other: Self) {
+        self.outlier_amc.merge(other.outlier_amc);
+        self.inlier_amc.merge(other.inlier_amc);
+        self.outlier_tree.merge(other.outlier_tree);
+        self.inlier_tree.merge(other.inlier_tree);
+        self.outlier_count += other.outlier_count;
+        self.inlier_count += other.inlier_count;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +341,47 @@ mod tests {
             support_of(&[2]) > support_of(&[1]),
             "new explanation should dominate: {explanations:?}"
         );
+    }
+
+    #[test]
+    fn merged_streaming_explainers_combine_partition_counts() {
+        // Each partition alone lacks the support to report the planted item
+        // at a high combined support; the merged operator recovers the full
+        // counts, unlike a union of separately produced explanations.
+        let mut left = StreamingExplainer::new(config(0.05, 3.0, 0.0));
+        let mut right = StreamingExplainer::new(config(0.05, 3.0, 0.0));
+        for i in 0..10_000 {
+            // Alternate blocks of 100 so each side sees half of the outliers
+            // (which land on multiples of 100, i.e. always on even indices).
+            let target = if (i / 100) % 2 == 0 {
+                &mut left
+            } else {
+                &mut right
+            };
+            if i % 100 == 0 {
+                target.observe(&[1, 2], true);
+            } else {
+                target.observe(&[10 + (i % 5) as Item, 20 + (i % 7) as Item], false);
+            }
+        }
+        let single_side_count = left
+            .explain()
+            .iter()
+            .find(|e| e.items == vec![1])
+            .map(|e| e.stats.outlier_count)
+            .unwrap_or(0.0);
+        left.merge(right);
+        assert!((left.outlier_count() - 100.0).abs() < 1e-9);
+        assert!((left.inlier_count() - 9_900.0).abs() < 1e-9);
+        let merged = left.explain();
+        let merged_count = merged
+            .iter()
+            .find(|e| e.items == vec![1])
+            .map(|e| e.stats.outlier_count)
+            .expect("planted item missing after merge");
+        assert!((merged_count - 100.0).abs() < 1e-9);
+        assert!(merged_count > single_side_count);
+        assert!(merged.iter().any(|e| e.items == vec![1, 2]));
     }
 
     #[test]

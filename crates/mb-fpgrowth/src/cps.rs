@@ -12,6 +12,7 @@
 
 use crate::fptree::FpTree;
 use crate::{FrequentItemset, Item};
+use mb_sketch::Mergeable;
 use std::collections::{HashMap, HashSet};
 
 /// An incrementally maintained, weighted, frequency-descending prefix tree.
@@ -258,6 +259,26 @@ impl StreamingPrefixTree {
     }
 }
 
+impl Mergeable for StreamingPrefixTree {
+    /// Merge another prefix tree into this one: item frequencies add, and
+    /// the other tree's transactions are re-inserted ordered by the
+    /// *combined* frequencies (count addition along shared prefixes). The
+    /// merged tree stores exactly the union of both trees' weighted
+    /// transaction multisets, so mining it equals mining the concatenated
+    /// streams; total weight (including fully-pruned transactions) adds.
+    fn merge(&mut self, other: Self) {
+        let other_weight = other.total_weight;
+        for (item, count) in &other.item_counts {
+            *self.item_counts.entry(*item).or_insert(0.0) += count;
+        }
+        let order = self.item_counts.clone();
+        for (path, weight) in other.to_weighted_transactions() {
+            self.insert_with_order(&path, weight, &order);
+        }
+        self.total_weight += other_weight;
+    }
+}
+
 /// The CPS-tree: a [`StreamingPrefixTree`] with window-boundary decay and
 /// restructuring, admitting **every** observed item (the Appendix D
 /// baseline).
@@ -417,6 +438,62 @@ mod tests {
         assert!(mined.iter().all(|r| !r.items.contains(&3)));
         // Total weight still reflects all observed transactions.
         assert!((tree.total_weight() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_prefix_trees_mine_like_one_stream() {
+        let transactions = vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ];
+        let mut whole = StreamingPrefixTree::new();
+        let mut left = StreamingPrefixTree::new();
+        let mut right = StreamingPrefixTree::new();
+        for (i, t) in transactions.iter().enumerate() {
+            whole.insert(t, 1.0);
+            if i % 2 == 0 {
+                left.insert(t, 1.0);
+            } else {
+                right.insert(t, 1.0);
+            }
+        }
+        left.merge(right);
+        assert!((left.total_weight() - whole.total_weight()).abs() < 1e-12);
+        assert_eq!(left.distinct_items(), whole.distinct_items());
+        for item in [1, 2, 3, 4, 5] {
+            assert!((left.item_count(item) - whole.item_count(item)).abs() < 1e-12);
+        }
+        let mut merged_mined = left.mine(2.0, usize::MAX);
+        let mut whole_mined = whole.mine(2.0, usize::MAX);
+        sort_canonical(&mut merged_mined);
+        sort_canonical(&mut whole_mined);
+        assert_eq!(merged_mined.len(), whole_mined.len());
+        for (m, w) in merged_mined.iter().zip(whole_mined.iter()) {
+            assert_eq!(m.items, w.items);
+            assert!((m.support - w.support).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_accounts_pruned_transaction_weight() {
+        let mut a = StreamingPrefixTree::new();
+        a.insert(&[1, 2], 5.0);
+        let mut b = StreamingPrefixTree::new();
+        b.insert(&[3], 1.0);
+        b.insert(&[4], 2.0);
+        let keep: HashSet<Item> = [3].into_iter().collect();
+        b.retain_items(&keep); // drops item 4's path but keeps its weight
+        a.merge(b);
+        assert!((a.total_weight() - 8.0).abs() < 1e-9);
+        assert!((a.item_count(3) - 1.0).abs() < 1e-9);
+        assert_eq!(a.item_count(4), 0.0);
     }
 
     #[test]

@@ -42,6 +42,13 @@
 //! assert!(report.explanations.iter().any(|e| {
 //!     e.attributes.iter().any(|a| a.contains("device_13"))
 //! }));
+//!
+//! // Scale out without giving up accuracy: coordinated partitioned execution
+//! // shares one trained model and merges pre-render explanation state, so the
+//! // report is exactly the one-shot report at any partition count (unlike the
+//! // naïve `run_partitioned`, whose accuracy degrades with cores).
+//! let scaled = run_coordinated(&points, 8, &MdpConfig::default()).unwrap();
+//! assert_eq!(scaled.num_outliers, report.num_outliers);
 //! ```
 
 pub use macrobase_core as core;
@@ -55,6 +62,7 @@ pub use mb_transform as transform;
 
 /// Commonly used types, re-exported for `use macrobase::prelude::*`.
 pub mod prelude {
+    pub use crate::core::coordinated::run_coordinated;
     pub use crate::core::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
     pub use crate::core::parallel::run_partitioned;
     pub use crate::core::pipeline::{Pipeline, PipelineBuilder};

@@ -1,0 +1,136 @@
+//! Coordinated partitioned execution must reproduce the one-shot MDP
+//! exactly — not just "still finds the planted device" — for every
+//! partition count, on the planted-device workload.
+
+use macrobase::ingest::synthetic::{device_workload, DeviceWorkloadConfig};
+use macrobase::prelude::*;
+use std::collections::BTreeMap;
+
+fn workload_points(num_points: usize, num_devices: usize) -> (Vec<Point>, Vec<String>) {
+    let workload = device_workload(&DeviceWorkloadConfig {
+        num_points,
+        num_devices,
+        outlying_device_fraction: 0.01,
+        ..DeviceWorkloadConfig::default()
+    });
+    let points = workload
+        .records
+        .iter()
+        .map(|r| Point::new(r.record.metrics.clone(), r.record.attributes.clone()))
+        .collect();
+    (points, workload.outlying_devices)
+}
+
+fn config() -> MdpConfig {
+    MdpConfig {
+        explanation: ExplanationConfig::new(0.01, 3.0),
+        attribute_names: vec!["device_id".to_string()],
+        ..MdpConfig::default()
+    }
+}
+
+/// Map each explanation's (sorted) attribute combination to its statistics.
+fn explanation_index(report: &MdpReport) -> BTreeMap<Vec<String>, (f64, f64, f64)> {
+    report
+        .explanations
+        .iter()
+        .map(|e| {
+            let mut attrs = e.attributes.clone();
+            attrs.sort();
+            (
+                attrs,
+                (
+                    e.stats.outlier_count,
+                    e.stats.inlier_count,
+                    e.stats.risk_ratio,
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn coordinated_reproduces_one_shot_exactly_for_one_through_eight_partitions() {
+    let (points, truth) = workload_points(40_000, 200);
+    let one_shot = MdpOneShot::new(config()).run(&points).unwrap();
+    assert!(one_shot.num_outliers > 0);
+    let reference = explanation_index(&one_shot);
+    // The reference itself covers the ground truth, so exact reproduction
+    // implies the coordinated mode does too.
+    for device in &truth {
+        assert!(
+            reference
+                .keys()
+                .any(|attrs| attrs.iter().any(|a| a.ends_with(device.as_str()))),
+            "one-shot reference missing planted device {device}"
+        );
+    }
+
+    for num_partitions in 1..=8 {
+        let coordinated = run_coordinated(&points, num_partitions, &config()).unwrap();
+        assert_eq!(
+            coordinated.num_outliers, one_shot.num_outliers,
+            "outlier count diverged at {num_partitions} partitions"
+        );
+        assert_eq!(coordinated.score_cutoff, one_shot.score_cutoff);
+        assert_eq!(coordinated.num_points, one_shot.num_points);
+
+        let merged = explanation_index(&coordinated);
+        assert_eq!(
+            merged.keys().collect::<Vec<_>>(),
+            reference.keys().collect::<Vec<_>>(),
+            "explanation set diverged at {num_partitions} partitions"
+        );
+        for (attrs, (outlier_count, inlier_count, risk_ratio)) in &merged {
+            let (ref_outlier, ref_inlier, ref_ratio) = reference[attrs];
+            assert!(
+                (outlier_count - ref_outlier).abs() < 1e-9,
+                "outlier count for {attrs:?} diverged at {num_partitions} partitions"
+            );
+            assert!(
+                (inlier_count - ref_inlier).abs() < 1e-9,
+                "inlier count for {attrs:?} diverged at {num_partitions} partitions"
+            );
+            let same_ratio = (risk_ratio - ref_ratio).abs() < 1e-9
+                || (risk_ratio.is_infinite() && ref_ratio.is_infinite());
+            assert!(
+                same_ratio,
+                "risk ratio for {attrs:?} diverged at {num_partitions} partitions"
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_partitioning_diverges_where_coordinated_does_not() {
+    // The motivating contrast: at 8 partitions the naïve mode's explanation
+    // set differs from one-shot on this workload (per-partition thresholds
+    // and support pruning), while the coordinated set is identical. Guards
+    // against the coordinated path silently degrading into the naïve one.
+    let (points, _) = workload_points(40_000, 200);
+    let shared = config();
+    let one_shot = MdpOneShot::new(shared.clone()).run(&points).unwrap();
+    let reference: Vec<Vec<String>> = explanation_index(&one_shot).into_keys().collect();
+
+    let coordinated = run_coordinated(&points, 8, &shared).unwrap();
+    let coordinated_set: Vec<Vec<String>> =
+        explanation_index(&coordinated).into_keys().collect();
+    assert_eq!(coordinated_set, reference);
+
+    let naive = run_partitioned(&points, 8, &shared).unwrap();
+    let mut naive_set: Vec<Vec<String>> = naive
+        .merged_explanations
+        .iter()
+        .map(|e| {
+            let mut attrs = e.attributes.clone();
+            attrs.sort();
+            attrs
+        })
+        .collect();
+    naive_set.sort();
+    naive_set.dedup();
+    assert_ne!(
+        naive_set, reference,
+        "expected the naïve union to diverge from one-shot on this workload"
+    );
+}

@@ -33,7 +33,7 @@ use crate::Result;
 use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
 use mb_classify::threshold::StaticThreshold;
 use mb_explain::batch::BatchExplainer;
-use mb_explain::encoder::AttributeEncoder;
+use mb_explain::encoder::{encode_rows_parallel, AttributeEncoder};
 use mb_explain::partition::ExplainState;
 use mb_explain::risk_ratio::rank_explanations;
 use mb_explain::Mergeable;
@@ -46,13 +46,15 @@ use mb_stats::Estimator;
 /// Execute `config` over `points` split into `num_partitions` partitions
 /// with a shared trained model, a global score threshold, and merged
 /// explanation state. Produces exactly the report [`MdpOneShot::run`] would,
-/// for any partition count.
+/// for any partition count. Pass `0` for `num_partitions` to use one
+/// partition per available core
+/// ([`crate::parallel::default_num_partitions`]).
 pub fn run_coordinated(
     points: &[Point],
     num_partitions: usize,
     config: &MdpConfig,
 ) -> Result<MdpReport> {
-    assert!(num_partitions > 0, "need at least one partition");
+    let num_partitions = crate::parallel::resolve_num_partitions(num_partitions);
     let dim = MdpOneShot::check_dimensions(points)?;
     match config.estimator.resolve(dim) {
         EstimatorKind::Mad => run_with(MadEstimator::new(), points, num_partitions, config),
@@ -103,18 +105,25 @@ fn run_with<E: Estimator + Sync>(
     let explanations = if config.skip_explanation {
         Vec::new()
     } else {
-        // Encode attributes once so item ids agree across partitions (the
-        // naïve mode's per-partition encoders are why it can only union
-        // rendered strings).
+        // Encode attributes through one shared dictionary so item ids agree
+        // across partitions (the naïve mode's per-partition encoders are why
+        // it can only union rendered strings). The encode pass itself shards
+        // across the pool; the first-occurrence-ordered dictionary merge
+        // keeps the assigned ids identical to a serial pass, so this does
+        // not perturb the one-shot-equivalence guarantee.
         let mut encoder = if config.attribute_names.is_empty() {
             AttributeEncoder::new()
         } else {
             AttributeEncoder::with_column_names(config.attribute_names.clone())
         };
-        let transactions: Vec<Vec<Item>> = points
-            .iter()
-            .map(|p| encoder.encode_point(&p.attributes))
-            .collect();
+        let attribute_rows: Vec<&[String]> =
+            points.iter().map(|p| p.attributes.as_slice()).collect();
+        let transactions: Vec<Vec<Item>> = encode_rows_parallel(
+            &mut encoder,
+            mb_pool::global(),
+            &attribute_rows,
+            num_partitions,
+        );
 
         // Scatter: per-partition pre-render explanation state.
         let txn_chunks = partition_chunks(&transactions, num_partitions);
@@ -239,6 +248,18 @@ mod tests {
     #[test]
     fn coordinated_rejects_empty_input() {
         assert!(run_coordinated(&[], 4, &config()).is_err());
+    }
+
+    #[test]
+    fn zero_partitions_matches_explicit_partition_count() {
+        // 0 = "one partition per core"; coordinated results are partition-
+        // count-invariant, so auto must equal the single-partition report.
+        let points = workload(5_000);
+        let auto = run_coordinated(&points, 0, &config()).unwrap();
+        let explicit = run_coordinated(&points, 1, &config()).unwrap();
+        assert_eq!(auto.num_outliers, explicit.num_outliers);
+        assert_eq!(auto.score_cutoff, explicit.score_cutoff);
+        assert_eq!(attribute_sets(&auto), attribute_sets(&explicit));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod types;
 
 pub use coordinated::run_coordinated;
 pub use mb_classify::Label;
-pub use parallel::run_partitioned;
+pub use parallel::{default_num_partitions, run_partitioned};
 pub use oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use streaming::{MdpStreaming, StreamingMdpConfig};

@@ -12,6 +12,26 @@ use crate::types::{MdpReport, Point, RenderedExplanation};
 use crate::Result;
 use std::collections::HashMap;
 
+/// The partition count used when a caller passes `0`: one partition per
+/// worker in the shared execution pool. This respects
+/// [`mb_pool::configure_global_threads`] (and the harness `--threads`
+/// flag) rather than blindly using the machine's core count — for the
+/// naïve mode especially, over-partitioning beyond the pool costs accuracy
+/// for no throughput.
+pub fn default_num_partitions() -> usize {
+    mb_pool::global().num_threads()
+}
+
+/// Resolve a caller-supplied partition count: `0` means "derive from
+/// [`default_num_partitions`]".
+pub(crate) fn resolve_num_partitions(num_partitions: usize) -> usize {
+    if num_partitions == 0 {
+        default_num_partitions()
+    } else {
+        num_partitions
+    }
+}
+
 /// Split a slice into `num_partitions` contiguous chunks (the last may be
 /// short). Shared by the naïve and coordinated partitioned executors.
 pub(crate) fn partition_chunks<T>(items: &[T], num_partitions: usize) -> Vec<&[T]> {
@@ -20,26 +40,20 @@ pub(crate) fn partition_chunks<T>(items: &[T], num_partitions: usize) -> Vec<&[T
     items.chunks(chunk_size.max(1)).collect()
 }
 
-/// Run `work` over each chunk on its own scoped thread and collect the
-/// results in chunk order — the scatter half of the partitioned executors.
-/// Threads share nothing except what `work` captures by reference.
+/// Run `work` over each chunk on the shared work-stealing pool and collect
+/// the results in chunk order — the scatter half of the partitioned
+/// executors. Tasks share nothing except what `work` captures by reference.
+/// Submitting to the resident [`mb_pool::global`] pool replaces the
+/// per-call `std::thread::scope` spawn this used to pay, which dominated
+/// scatter cost for small batches (see `fig11_scaleout`'s scatter-overhead
+/// section). A panic inside `work` propagates to the caller.
 pub(crate) fn scatter<I, O, F>(chunks: Vec<I>, work: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    let work = &work;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || work(chunk)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition thread panicked"))
-            .collect()
-    })
+    mb_pool::global().map_vec(chunks, work)
 }
 
 /// The result of a partitioned run: per-partition reports plus the unioned
@@ -56,7 +70,9 @@ pub struct PartitionedReport {
 }
 
 /// Execute `config` over `points` split into `num_partitions` shared-nothing
-/// partitions, each processed on its own thread.
+/// partitions, each processed as an independent pool task. Pass `0` for
+/// `num_partitions` to use one partition per available core
+/// ([`default_num_partitions`]).
 pub fn run_partitioned(
     points: &[Point],
     num_partitions: usize,
@@ -65,9 +81,10 @@ pub fn run_partitioned(
     if points.is_empty() {
         return Err(crate::PipelineError::EmptyInput);
     }
+    let num_partitions = resolve_num_partitions(num_partitions);
     let chunks = partition_chunks(points, num_partitions);
 
-    // Run each partition on its own scoped thread (shared-nothing: each gets
+    // Run each partition as its own pool task (shared-nothing: each gets
     // its own MdpOneShot and sees only its chunk).
     let results: Vec<Result<MdpReport>> =
         scatter(chunks, |chunk| MdpOneShot::new(config.clone()).run(chunk));
@@ -190,5 +207,12 @@ mod tests {
     #[test]
     fn empty_input_is_rejected() {
         assert!(run_partitioned(&[], 4, &config()).is_err());
+    }
+
+    #[test]
+    fn zero_partitions_derives_count_from_available_parallelism() {
+        let points = workload(10_000);
+        let result = run_partitioned(&points, 0, &config()).unwrap();
+        assert_eq!(result.partition_reports.len(), default_num_partitions());
     }
 }

@@ -1,10 +1,12 @@
 //! Criterion micro-benchmarks for the robust estimators: FastMCD training
-//! versus metric dimensionality (Figure 10) and MAD training versus sample
-//! size (Figure 9).
+//! versus metric dimensionality (Figure 10), MAD training versus sample
+//! size (Figure 9), and the C-step Mahalanobis-distance pass — the FastMCD
+//! hot path the ROADMAP's profiling item tracks, and the pass that fans out
+//! on the mb-pool work-stealing pool for large samples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mb_stats::mad::MadEstimator;
-use mb_stats::mcd::McdEstimator;
+use mb_stats::mcd::{FastMcdConfig, McdEstimator};
 use mb_stats::rand_ext::{normal, SplitMix64};
 use mb_stats::Estimator;
 
@@ -27,6 +29,59 @@ fn mcd_train_by_dimension(c: &mut Criterion) {
     group.finish();
 }
 
+/// One C-step costs a full Mahalanobis-distance pass over the sample plus a
+/// sort; the pass dominates and is what `mb_pool::parallel_for` scatters.
+/// `squared_mahalanobis_batch` is that exact pass, benchmarked here per row
+/// count so pool-size changes (`--threads` on the harness binaries, thread
+/// count in CI) have a number to move.
+fn mcd_c_step_distance_pass(c: &mut Criterion) {
+    let dim = 8;
+    let mut rng = SplitMix64::new(17);
+    let train: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+        .collect();
+    let mut est = McdEstimator::with_defaults();
+    est.train(&train).expect("train failed");
+
+    let mut group = c.benchmark_group("mcd_c_step_distance_pass");
+    group.sample_size(10);
+    for &rows in &[10_000usize, 100_000] {
+        let sample: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 2.0)).collect())
+            .collect();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &sample, |b, sample| {
+            b.iter(|| est.squared_mahalanobis_batch(sample).expect("distance pass failed"))
+        });
+    }
+    group.finish();
+}
+
+/// A single-start, single-C-step training run: initial elemental fit plus
+/// one select-and-refit — the unit of work `max_iterations` multiplies.
+fn mcd_single_c_step_train(c: &mut Criterion) {
+    let dim = 8;
+    let mut rng = SplitMix64::new(19);
+    let sample: Vec<Vec<f64>> = (0..20_000)
+        .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+        .collect();
+    let mut group = c.benchmark_group("mcd_single_c_step_train");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sample.len() as u64));
+    group.bench_function("20000x8", |b| {
+        b.iter(|| {
+            let mut est = McdEstimator::new(FastMcdConfig {
+                num_starts: 1,
+                max_iterations: 1,
+                ..FastMcdConfig::default()
+            });
+            est.train(&sample).expect("train failed");
+            est.location().unwrap()[0]
+        })
+    });
+    group.finish();
+}
+
 fn mad_train_by_sample_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("mad_train_by_sample_size");
     group.sample_size(10);
@@ -44,5 +99,11 @@ fn mad_train_by_sample_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, mcd_train_by_dimension, mad_train_by_sample_size);
+criterion_group!(
+    benches,
+    mcd_train_by_dimension,
+    mcd_c_step_distance_pass,
+    mcd_single_c_step_train,
+    mad_train_by_sample_size
+);
 criterion_main!(benches);

@@ -62,20 +62,25 @@ fn reservoir_insertion(c: &mut Criterion) {
     let mut group = c.benchmark_group("reservoir_insertion");
     group.throughput(Throughput::Elements(STREAM_LEN as u64));
     group.sample_size(10);
-    group.bench_function("adr", |b| {
-        b.iter(|| {
-            let mut adr = AdaptableDampedReservoir::new(
-                10_000,
-                0.01,
-                DecayPolicy::EveryNItems(100_000),
-                1,
-            );
-            for &v in &values {
-                adr.observe(v);
-            }
-            adr.len()
-        })
-    });
+    // The ADR insert path is a ROADMAP hot-path profiling target: benchmark
+    // it at both a rare and an aggressive decay cadence so the amortized
+    // per-tuple decay cost (Algorithm 1's headline property) has a number.
+    for &decay_period in &[100_000u64, 1_000] {
+        group.bench_function(format!("adr_decay_every_{decay_period}"), |b| {
+            b.iter(|| {
+                let mut adr = AdaptableDampedReservoir::new(
+                    10_000,
+                    0.01,
+                    DecayPolicy::EveryNItems(decay_period),
+                    1,
+                );
+                for &v in &values {
+                    adr.observe(v);
+                }
+                adr.len()
+            })
+        });
+    }
     group.bench_function("uniform", |b| {
         b.iter(|| {
             let mut reservoir = UniformReservoir::new(10_000, 1);

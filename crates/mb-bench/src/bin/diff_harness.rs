@@ -31,7 +31,12 @@ use std::process::ExitCode;
 
 /// Keys whose values depend on wall clock and may vary freely across runs.
 fn is_volatile(key: &str) -> bool {
-    key == "seconds" || key.ends_with("_per_s") || key.contains("throughput")
+    key == "seconds"
+        || key.ends_with("_seconds")
+        || key.ends_with("_per_s")
+        || key.ends_with("_us")
+        || key.contains("throughput")
+        || key.contains("speedup")
 }
 
 fn arg_value(name: &str) -> Option<String> {

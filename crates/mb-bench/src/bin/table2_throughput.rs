@@ -5,7 +5,10 @@
 use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
 use macrobase_core::streaming::{MdpStreaming, StreamingMdpConfig};
 use macrobase_core::types::Point;
-use mb_bench::{arg_usize, emit_json, human_count, records_to_points, throughput, timed};
+use mb_bench::{
+    arg_usize, configure_threads_from_args, emit_json, human_count, records_to_points, throughput,
+    timed,
+};
 use mb_explain::risk_ratio::jaccard_similarity;
 use mb_explain::{Explanation, ExplanationConfig};
 use mb_ingest::datasets::{generate_dataset, simple_query_view, DatasetId, DatasetScale};
@@ -84,10 +87,11 @@ fn run_query(points: &[Point], explanation: ExplanationConfig) -> QueryResult {
 }
 
 fn main() {
+    let threads = configure_threads_from_args();
     let divisor = arg_usize("--scale-divisor", 200);
     let explanation = ExplanationConfig::new(0.001, 3.0);
     println!(
-        "Table 2: throughput and explanations per query (dataset rows scaled by 1/{divisor})"
+        "Table 2: throughput and explanations per query (dataset rows scaled by 1/{divisor}, {threads}-thread pool)"
     );
     println!(
         "{:>6} {:>9} | {:>11} {:>11} | {:>11} {:>11} | {:>7} {:>7} {:>8}",

@@ -59,6 +59,20 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Apply a `--threads N` argument (if present) to the global work-stealing
+/// pool, before anything has touched it; returns the pool's actual size.
+/// Call this at the top of `main` in harness binaries — once the pool
+/// exists its size is fixed for the life of the process.
+pub fn configure_threads_from_args() -> usize {
+    let requested = arg_usize("--threads", 0);
+    if requested > 0 {
+        // Err only if the pool already exists, in which case the flag
+        // cannot take effect and the actual size is reported instead.
+        let _ = mb_pool::configure_global_threads(requested);
+    }
+    mb_pool::global().num_threads()
+}
+
 /// Format a floating point count compactly (e.g. `1.39M`, `599K`).
 pub fn human_count(value: f64) -> String {
     if value >= 1e6 {

@@ -4,6 +4,14 @@
 //! firmware version, ...). The itemset miners work over dense `u32` item
 //! ids, so the explanation layer interns each distinct (attribute column,
 //! value) pair once and translates back when rendering explanations to users.
+//!
+//! For large batches, [`encode_rows_parallel`] shards the encode pass across
+//! the work-stealing pool: each shard interns misses into a private local
+//! dictionary, and the locals merge into the shared [`AttributeEncoder`] the
+//! same way the sketches merge — except the merge is ordered by each value's
+//! first occurrence in the input, so the assigned item ids (and therefore
+//! every downstream count, tree, and explanation) are *identical* to what a
+//! serial [`AttributeEncoder::encode_point`] loop would have produced.
 
 use mb_fpgrowth::Item;
 use std::collections::HashMap;
@@ -117,6 +125,142 @@ impl AttributeEncoder {
     }
 }
 
+/// One shard's private output from the parallel encode pass: transactions
+/// with provisional item ids, plus the dictionary entries the shard minted
+/// (each with the global row index of its first occurrence).
+struct ShardEncode {
+    transactions: Vec<Vec<Item>>,
+    /// Minted entries in local-id order; `.1` is the first global row index
+    /// at which the shard saw the value.
+    minted: Vec<(AttributeValue, usize)>,
+}
+
+/// Encode `rows` into item transactions in parallel shards on `pool`,
+/// interning any new attribute values into `encoder`.
+///
+/// Each shard reads the pre-existing dictionary lock-free (shared
+/// reference) and mints provisional ids for misses in a private local
+/// dictionary. The shard dictionaries then merge into `encoder` ordered by
+/// first occurrence (row, then column), which makes the id assignment —
+/// and hence the returned transactions — byte-identical to a serial
+/// [`AttributeEncoder::encode_point`] loop over `rows`, for any shard count
+/// and any thread interleaving. Finally the provisional ids are rewritten
+/// to their merged ids, again in parallel.
+pub fn encode_rows_parallel<R>(
+    encoder: &mut AttributeEncoder,
+    pool: &mb_pool::Pool,
+    rows: &[R],
+    num_shards: usize,
+) -> Vec<Vec<Item>>
+where
+    R: AsRef<[String]> + Sync,
+{
+    let base = encoder.cardinality() as Item;
+    let num_shards = num_shards.clamp(1, rows.len().max(1));
+    let shard_size = rows.len().div_ceil(num_shards).max(1);
+
+    // Scatter: encode each shard against the frozen global dictionary plus
+    // a private dictionary for misses. Provisional ids for misses start at
+    // `base`, so "miss" is recognizable downstream as `id >= base`.
+    let shard_inputs: Vec<(usize, &[R])> = rows
+        .chunks(shard_size)
+        .enumerate()
+        .map(|(i, chunk)| (i * shard_size, chunk))
+        .collect();
+    let frozen = &*encoder;
+    let mut shards: Vec<ShardEncode> = pool.map_vec(shard_inputs, |(offset, shard_rows)| {
+        let mut local: HashMap<AttributeValue, Item> = HashMap::new();
+        let mut minted: Vec<(AttributeValue, usize)> = Vec::new();
+        let transactions = shard_rows
+            .iter()
+            .enumerate()
+            .map(|(row_in_shard, row)| {
+                row.as_ref()
+                    .iter()
+                    .enumerate()
+                    .map(|(column, value)| {
+                        if let Some(item) = frozen.lookup(column, value) {
+                            return item;
+                        }
+                        let key = AttributeValue::new(column, value.clone());
+                        if let Some(&provisional) = local.get(&key) {
+                            return base + provisional;
+                        }
+                        let provisional = minted.len() as Item;
+                        local.insert(key.clone(), provisional);
+                        minted.push((key, offset + row_in_shard));
+                        base + provisional
+                    })
+                    .collect()
+            })
+            .collect();
+        ShardEncode {
+            transactions,
+            minted,
+        }
+    });
+
+    // Merge dictionaries: dedupe the minted values across shards keeping the
+    // earliest occurrence, then intern into `encoder` ordered by (first row,
+    // column) — exactly the order a serial pass discovers values in. (Two
+    // distinct new values can share a row only in distinct columns, so the
+    // order is total.)
+    let mut first_seen: HashMap<&AttributeValue, usize> = HashMap::new();
+    for shard in &shards {
+        for (key, row) in &shard.minted {
+            first_seen
+                .entry(key)
+                .and_modify(|earliest| *earliest = (*earliest).min(*row))
+                .or_insert(*row);
+        }
+    }
+    let mut ordered: Vec<(&AttributeValue, usize)> =
+        first_seen.iter().map(|(&key, &row)| (key, row)).collect();
+    ordered.sort_by_key(|&(key, row)| (row, key.column));
+    for (key, _) in &ordered {
+        encoder.encode(key.column, &key.value);
+    }
+
+    // Gather: rewrite each shard's provisional ids to merged ids in
+    // parallel, then concatenate transactions in shard (= row) order.
+    let remaps: Vec<Vec<Item>> = shards
+        .iter()
+        .map(|shard| {
+            shard
+                .minted
+                .iter()
+                .map(|(key, _)| {
+                    encoder
+                        .lookup(key.column, &key.value)
+                        .expect("merged dictionary entry missing")
+                })
+                .collect()
+        })
+        .collect();
+    let shard_work: Vec<(ShardEncode, &Vec<Item>)> = shards.drain(..).zip(remaps.iter()).collect();
+    pool.map_vec(shard_work, |(shard, remap)| {
+        shard
+            .transactions
+            .into_iter()
+            .map(|transaction| {
+                transaction
+                    .into_iter()
+                    .map(|item| {
+                        if item < base {
+                            item
+                        } else {
+                            remap[(item - base) as usize]
+                        }
+                    })
+                    .collect::<Vec<Item>>()
+            })
+            .collect::<Vec<Vec<Item>>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +326,95 @@ mod tests {
         let enc = AttributeEncoder::new();
         assert_eq!(enc.lookup(0, "nope"), None);
         assert_eq!(enc.cardinality(), 0);
+    }
+
+    /// A mixed-cardinality workload where most values recur across shard
+    /// boundaries and some are unique to one shard.
+    fn attribute_rows(n: usize) -> Vec<Vec<String>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    format!("device_{}", i % 37),
+                    format!("version_{}", i % 5),
+                    format!("row_tag_{}", i / 50),
+                ]
+            })
+            .collect()
+    }
+
+    fn serial_reference(rows: &[Vec<String>]) -> (AttributeEncoder, Vec<Vec<Item>>) {
+        let mut enc = AttributeEncoder::new();
+        let txns = rows.iter().map(|row| enc.encode_point(row)).collect();
+        (enc, txns)
+    }
+
+    #[test]
+    fn parallel_encode_reproduces_serial_ids_exactly() {
+        let rows = attribute_rows(2_000);
+        let (serial_enc, serial_txns) = serial_reference(&rows);
+        let pool = mb_pool::Pool::new(4);
+        for shards in [1usize, 2, 3, 7, 16] {
+            let mut enc = AttributeEncoder::new();
+            let txns = encode_rows_parallel(&mut enc, &pool, &rows, shards);
+            assert_eq!(txns, serial_txns, "transactions diverged at {shards} shards");
+            assert_eq!(enc.cardinality(), serial_enc.cardinality());
+            for item in 0..enc.cardinality() as Item {
+                assert_eq!(
+                    enc.decode(item),
+                    serial_enc.decode(item),
+                    "dictionary diverged at item {item} with {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_encode_respects_preexisting_entries() {
+        let rows = attribute_rows(500);
+        // Pre-intern a few values (as the streaming path may have done);
+        // their ids must survive and the serial/parallel tails must agree.
+        let mut serial_enc = AttributeEncoder::new();
+        serial_enc.encode(0, "device_3");
+        serial_enc.encode(2, "row_tag_0");
+        let mut parallel_enc = serial_enc.clone();
+        let serial_txns: Vec<Vec<Item>> =
+            rows.iter().map(|row| serial_enc.encode_point(row)).collect();
+        let pool = mb_pool::Pool::new(3);
+        let parallel_txns = encode_rows_parallel(&mut parallel_enc, &pool, &rows, 5);
+        assert_eq!(parallel_txns, serial_txns);
+        assert_eq!(parallel_enc.cardinality(), serial_enc.cardinality());
+        assert_eq!(parallel_enc.lookup(0, "device_3"), Some(0));
+    }
+
+    #[test]
+    fn parallel_encode_handles_empty_and_tiny_inputs() {
+        let pool = mb_pool::Pool::new(2);
+        let mut enc = AttributeEncoder::new();
+        let empty: Vec<Vec<String>> = Vec::new();
+        assert!(encode_rows_parallel(&mut enc, &pool, &empty, 8).is_empty());
+        assert_eq!(enc.cardinality(), 0);
+
+        let one = vec![vec!["a".to_string(), "b".to_string()]];
+        let txns = encode_rows_parallel(&mut enc, &pool, &one, 8);
+        assert_eq!(txns, vec![vec![0, 1]]);
+        assert_eq!(enc.cardinality(), 2);
+    }
+
+    #[test]
+    fn parallel_encode_keeps_column_names() {
+        let pool = mb_pool::Pool::new(2);
+        let mut enc = AttributeEncoder::with_column_names(vec![
+            "device_type".to_string(),
+            "app_version".to_string(),
+        ]);
+        let rows = vec![
+            vec!["B264".to_string(), "2.26.3".to_string()],
+            vec!["B101".to_string(), "2.26.3".to_string()],
+        ];
+        let txns = encode_rows_parallel(&mut enc, &pool, &rows, 2);
+        assert_eq!(
+            enc.describe(&txns[0]),
+            vec!["device_type=B264", "app_version=2.26.3"]
+        );
     }
 }

@@ -1,0 +1,900 @@
+//! A minimal work-stealing thread pool: the execution substrate for
+//! MacroBase-RS's partitioned executors, parallel attribute encoding, and
+//! the FastMCD distance pass.
+//!
+//! The build environment has no crates.io access, so this crate is a
+//! deliberately small stand-in for `rayon` (swap back via two lines in
+//! `[workspace.dependencies]` when network access exists). It keeps the
+//! properties the tree relies on:
+//!
+//! * **Reusable workers** — a [`Pool`] spawns its threads once; submitting
+//!   work is a queue push, not a `std::thread::scope` spawn per call, which
+//!   is what makes scatter cheap for small batches.
+//! * **Work stealing** — each worker owns a LIFO deque (newest-first for
+//!   cache locality); idle workers steal oldest-first from a random victim,
+//!   and external submissions land on a shared injector queue.
+//! * **Nested parallelism** — a thread that waits for a scope to finish
+//!   *helps*: it executes queued tasks instead of blocking, so pool workers
+//!   can themselves call [`Pool::join`]/[`Pool::parallel_for`] (e.g. a
+//!   partitioned FastMCD training run parallelizing its C-steps) without
+//!   deadlocking. Helping is stack-safe: past a fixed nesting depth a
+//!   waiter only executes tasks of the scope it is waiting for, bounding
+//!   stack growth by the application's real nesting depth instead of the
+//!   number of in-flight tasks.
+//! * **Panic propagation** — a panic inside a spawned task is captured and
+//!   re-raised on the thread that owns the scope, after every sibling task
+//!   has finished (so borrowed data is never left aliased).
+//!
+//! Use the process-wide [`global`] pool (lazily sized from
+//! [`std::thread::available_parallelism`], overridable once via
+//! [`configure_global_threads`]) or build an explicit [`Pool::new`].
+//!
+//! ## Example
+//!
+//! ```
+//! let pool = mb_pool::Pool::new(4);
+//! let (evens, odds) = pool.join(
+//!     || (0..1000).filter(|i| i % 2 == 0).count(),
+//!     || (0..1000).filter(|i| i % 2 == 1).count(),
+//! );
+//! assert_eq!(evens + odds, 1000);
+//!
+//! let total = pool.map_reduce(&[1u64, 2, 3, 4, 5], 1, |&x| x * x, 0, |a, b| a + b);
+//! assert_eq!(total, 55);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A type-erased unit of work, tagged with the identity of the scope that
+/// spawned it so waiters can restrict themselves to their own scope's tasks
+/// (see [`MAX_FOREIGN_HELP_DEPTH`]). Tasks are created with a scope-bound
+/// lifetime and transmuted to `'static`; soundness comes from
+/// [`Pool::scope`] never returning until every task it spawned has run to
+/// completion.
+struct Job {
+    /// The owning [`ScopeState`]'s address — an id, never dereferenced.
+    scope: usize,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// How many *foreign* (other-scope) jobs a thread may be executing,
+/// nested on its stack, before its scope waits stop stealing arbitrary
+/// work. Help-first waiting executes stolen jobs in the waiter's stack
+/// frame; an unlucky chain (help a job, whose wait helps another job, ...)
+/// grows the stack by one frame set per in-flight job, which is unbounded
+/// by anything in the task DAG and overflows under fine-grained nested
+/// parallelism. Beyond this depth a waiter only executes tasks of the
+/// scope it is waiting for: those chains are bounded by the application's
+/// real nesting depth, and the deepest waiter in the waits-on DAG can
+/// always find (or outwait) its own scope's tasks, so progress is
+/// preserved without unbounded stack growth.
+const MAX_FOREIGN_HELP_DEPTH: usize = 32;
+
+/// Worker stack size: help-first execution runs application tasks nested
+/// inside wait loops, so give workers generous (lazily committed) stacks.
+const WORKER_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Process-unique pool ids, so a thread can tell whether it is a worker of
+/// *this* pool (push to own deque) or a foreign thread (push to injector).
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(pool id, worker index)` of the pool this thread belongs to, or
+    /// `(0, _)` for threads that are not pool workers.
+    static CURRENT_WORKER: Cell<(u64, usize)> = const { Cell::new((0, usize::MAX)) };
+    /// Number of helped jobs currently nested on this thread's stack.
+    static HELP_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// State shared between a pool handle and its worker threads.
+struct Shared {
+    id: u64,
+    /// One deque per worker. The owner pushes/pops at the back (LIFO);
+    /// thieves pop at the front (FIFO — oldest, largest-granularity work).
+    local: Vec<Mutex<VecDeque<Job>>>,
+    /// Submissions from threads outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Bumped on every push; sleepers re-check it before parking so a push
+    /// racing with "queues looked empty" is never lost.
+    epoch: AtomicU64,
+    /// Workers currently parked on `wakeup`; pushes skip the notification
+    /// lock entirely while this is zero (the common case under load).
+    sleepers: AtomicUsize,
+    sleep: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Queue `job`: onto this worker's own deque when called from a worker
+    /// of this pool, onto the injector otherwise.
+    fn push(&self, job: Job) {
+        match self.current_worker_index() {
+            Some(index) => self.local[index].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+        // Notify under the sleep lock: a worker that saw empty queues either
+        // re-checks the epoch under this lock (and rescans) or is already
+        // parked (and receives this notification). Skipped entirely when no
+        // worker is parked; the narrow race this opens (a worker committing
+        // to sleep between the epoch bump and this load) is covered by the
+        // bounded `wait_timeout` in the worker loop.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock().unwrap();
+            self.wakeup.notify_all();
+        }
+    }
+
+    /// This thread's worker index in this pool, if any.
+    fn current_worker_index(&self) -> Option<usize> {
+        let (pool, index) = CURRENT_WORKER.with(|c| c.get());
+        (pool == self.id).then_some(index)
+    }
+
+    /// Pop or steal one job: own deque (LIFO), then the injector, then a
+    /// random-order sweep of the other workers' deques (FIFO). With
+    /// `only_scope` set, only jobs spawned by that scope are taken (a
+    /// linear scan under each queue's lock — used only by depth-limited
+    /// waiters, where correctness beats queue-pop cost).
+    fn find_work(
+        &self,
+        me: Option<usize>,
+        steal_rng: &mut u64,
+        only_scope: Option<usize>,
+    ) -> Option<Job> {
+        let take_back = |queue: &Mutex<VecDeque<Job>>| -> Option<Job> {
+            let mut queue = queue.lock().unwrap();
+            match only_scope {
+                None => queue.pop_back(),
+                Some(id) => {
+                    let pos = queue.iter().rposition(|job| job.scope == id)?;
+                    queue.remove(pos)
+                }
+            }
+        };
+        let take_front = |queue: &Mutex<VecDeque<Job>>| -> Option<Job> {
+            let mut queue = queue.lock().unwrap();
+            match only_scope {
+                None => queue.pop_front(),
+                Some(id) => {
+                    let pos = queue.iter().position(|job| job.scope == id)?;
+                    queue.remove(pos)
+                }
+            }
+        };
+        if let Some(index) = me {
+            if let Some(job) = take_back(&self.local[index]) {
+                return Some(job);
+            }
+        }
+        if let Some(job) = take_front(&self.injector) {
+            return Some(job);
+        }
+        let n = self.local.len();
+        let start = (xorshift(steal_rng) as usize) % n.max(1);
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = take_front(&self.local[victim]) {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Worker main loop: run work while there is any; park briefly when idle;
+    /// exit once shut down *and* drained.
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        CURRENT_WORKER.with(|c| c.set((self.id, index)));
+        let mut steal_rng = self.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64 + 1);
+        loop {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            if let Some(job) = self.find_work(Some(index), &mut steal_rng, None) {
+                (job.run)();
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let guard = self.sleep.lock().unwrap();
+            // Register as a sleeper *before* re-checking the epoch: in the
+            // SeqCst total order, a pusher that reads `sleepers == 0` (and
+            // skips notifying) must have bumped the epoch before this
+            // re-check, which then sees it and rescans — so no wakeup is
+            // ever lost. The timeout remains as defense in depth.
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) != epoch || self.shutdown.load(Ordering::Acquire)
+            {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue; // new work (or shutdown) raced in; rescan
+            }
+            let _ = self
+                .wakeup
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap();
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// 64-bit xorshift for victim selection — cheap, deterministic per worker,
+/// and independent of the data being processed.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Completion tracking for one [`Pool::scope`]: outstanding-task count, the
+/// first captured panic, and a condvar the owner parks on when it runs out
+/// of work to help with.
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Handle for spawning tasks that may borrow data owned by the caller of
+/// [`Pool::scope`]; all tasks are guaranteed to finish before `scope`
+/// returns.
+pub struct Scope<'scope> {
+    pool: &'scope Pool,
+    state: Arc<ScopeState>,
+    /// Make `'scope` invariant, as in rayon: tasks must not be allowed to
+    /// shorten the lifetime their captures are checked against.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` onto the pool. It may run on any worker (or on the scope
+    /// owner while it waits); it will have run to completion before
+    /// [`Pool::scope`] returns. A panic in `f` is re-raised by `scope`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_id = Arc::as_ptr(&self.state) as usize;
+        let state = Arc::clone(&self.state);
+        let task = move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = state.done_lock.lock().unwrap();
+                state.done_cv.notify_all();
+            }
+        };
+        let run: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // SAFETY: `scope` waits for `pending` to reach zero before returning,
+        // so every borrow captured by the task outlives the task's execution;
+        // the transmute only erases the `'scope` bound down to `'static`.
+        let run = unsafe {
+            std::mem::transmute::<
+                Box<dyn FnOnce() + Send + 'scope>,
+                Box<dyn FnOnce() + Send + 'static>,
+            >(run)
+        };
+        self.pool.shared.push(Job {
+            scope: scope_id,
+            run,
+        });
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping the pool shuts its workers down after draining queued work. The
+/// process-wide [`global`] pool is never dropped.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.num_threads())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Create a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            local: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mb-pool-{index}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn(move || shared.worker_loop(index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn num_threads(&self) -> usize {
+        self.shared.local.len()
+    }
+
+    /// Run `op` with a [`Scope`] for spawning borrowing tasks, then wait —
+    /// helping to execute queued work, never blocking the CPU — until every
+    /// spawned task has finished. The first panic (from `op` or any task) is
+    /// re-raised after that wait, so borrows are never left live.
+    pub fn scope<'scope, OP, R>(&'scope self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let state = Arc::new(ScopeState::new());
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        self.wait_scope(&state);
+        let task_panic = state.panic.lock().unwrap().take();
+        match (result, task_panic) {
+            (Err(payload), _) => panic::resume_unwind(payload),
+            (Ok(_), Some(payload)) => panic::resume_unwind(payload),
+            (Ok(value), None) => value,
+        }
+    }
+
+    /// Help-first wait: execute queued jobs until `state.pending` reaches
+    /// zero. Any queued job may be helped while the thread's helped-job
+    /// nesting is shallow; past [`MAX_FOREIGN_HELP_DEPTH`] only *this
+    /// scope's* jobs are taken, which keeps the stack bounded while still
+    /// guaranteeing progress (the deepest waiter in the waits-on DAG either
+    /// finds its own scope's tasks queued or outwaits the threads running
+    /// them — see the constant's doc).
+    fn wait_scope(&self, state: &ScopeState) {
+        let me = self.shared.current_worker_index();
+        let scope_id = state as *const ScopeState as usize;
+        let mut steal_rng = self.shared.id ^ 0xA076_1D64_78BD_642F;
+        loop {
+            if state.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let depth = HELP_DEPTH.with(|d| d.get());
+            let only_scope = (depth >= MAX_FOREIGN_HELP_DEPTH).then_some(scope_id);
+            if let Some(job) = self.shared.find_work(me, &mut steal_rng, only_scope) {
+                // Tasks never unwind (spawn wraps them in catch_unwind), so
+                // plain set/restore is enough.
+                HELP_DEPTH.with(|d| d.set(depth + 1));
+                (job.run)();
+                HELP_DEPTH.with(|d| d.set(depth));
+                continue;
+            }
+            let guard = state.done_lock.lock().unwrap();
+            if state.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Short timeout: completion notifies `done_cv`, but *new* work we
+            // could help with (spawned by a still-running task) only pokes the
+            // pool-wide condvar, so re-poll the queues at a modest cadence.
+            let _ = state
+                .done_cv
+                .wait_timeout(guard, Duration::from_micros(200))
+                .unwrap();
+        }
+    }
+
+    /// Run `a` and `b`, potentially in parallel, and return both results.
+    /// `a` runs on the calling thread; `b` is spawned and may be stolen.
+    /// Either side panicking re-raises the panic here, after both finish.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb = None;
+        let ra = self.scope(|s| {
+            {
+                let rb = &mut rb;
+                s.spawn(move || *rb = Some(b()));
+            }
+            a()
+        });
+        (ra, rb.expect("join: spawned closure did not run"))
+    }
+
+    /// Apply `f` to disjoint chunks of `items` in parallel, in place.
+    /// `f` receives each chunk's starting offset in `items` and the chunk
+    /// itself. Chunks hold at least `grain` elements (except the last), so
+    /// tiny inputs run inline on the caller with zero submission overhead.
+    pub fn parallel_for<T, F>(&self, items: &mut [T], grain: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let grain = grain.max(1);
+        if items.len() <= grain || self.num_threads() == 1 {
+            if !items.is_empty() {
+                f(0, items);
+            }
+            return;
+        }
+        // Over-split by 4× the worker count so stealing can balance uneven
+        // chunk costs, but never below the requested grain.
+        let chunk = items
+            .len()
+            .div_ceil(self.num_threads() * 4)
+            .max(grain);
+        let f = &f;
+        self.scope(|s| {
+            let mut offset = 0;
+            for piece in items.chunks_mut(chunk) {
+                let start = offset;
+                offset += piece.len();
+                s.spawn(move || f(start, piece));
+            }
+        });
+    }
+
+    /// Map `f` over owned `items` in parallel, preserving order. One task
+    /// per item — meant for coarse work units (partition chunks), not
+    /// element-wise math (use [`parallel_for`]/[`map_reduce`] for that).
+    ///
+    /// [`parallel_for`]: Pool::parallel_for
+    /// [`map_reduce`]: Pool::map_reduce
+    pub fn map_vec<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        if self.num_threads() == 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let mut out: Vec<Option<U>> = items.iter().map(|_| None).collect();
+        let f = &f;
+        self.scope(|s| {
+            for (slot, item) in out.iter_mut().zip(items) {
+                s.spawn(move || *slot = Some(f(item)));
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("map_vec task did not run"))
+            .collect()
+    }
+
+    /// Parallel map-reduce over a slice: `map` each element, combine with
+    /// `reduce` starting from `identity`. Equals the sequential
+    /// `items.iter().map(map).fold(identity, reduce)` whenever `reduce` is
+    /// associative with `identity` as its identity element (chunks fold
+    /// locally and chunk results combine in slice order, so commutativity is
+    /// *not* required).
+    pub fn map_reduce<T, A, M, R>(
+        &self,
+        items: &[T],
+        grain: usize,
+        map: M,
+        identity: A,
+        reduce: R,
+    ) -> A
+    where
+        T: Sync,
+        A: Send + Clone,
+        M: Fn(&T) -> A + Sync,
+        R: Fn(A, A) -> A + Sync,
+    {
+        let grain = grain.max(1);
+        let sequential = |chunk: &[T], acc: A| {
+            chunk.iter().fold(acc, |acc, item| reduce(acc, map(item)))
+        };
+        if items.len() <= grain || self.num_threads() == 1 {
+            return sequential(items, identity);
+        }
+        let chunk_size = items
+            .len()
+            .div_ceil(self.num_threads() * 4)
+            .max(grain);
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        let mut partials: Vec<Option<A>> = chunks.iter().map(|_| None).collect();
+        {
+            let sequential = &sequential;
+            self.scope(|s| {
+                for (slot, chunk) in partials.iter_mut().zip(chunks) {
+                    let seed = identity.clone();
+                    s.spawn(move || *slot = Some(sequential(chunk, seed)));
+                }
+            });
+        }
+        partials
+            .into_iter()
+            .map(|slot| slot.expect("map_reduce task did not run"))
+            .fold(identity, &reduce)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sleep.lock().unwrap();
+            self.shared.wakeup.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The size the lazy global pool should be created with; 0 = derive from
+/// [`std::thread::available_parallelism`].
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// Number of threads the platform reports as available (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Request that the [`global`] pool be built with `threads` workers. Must be
+/// called before the first use of [`global`]; returns `Err` (and changes
+/// nothing) once the global pool exists. Harness binaries call this from a
+/// `--threads` flag.
+pub fn configure_global_threads(threads: usize) -> Result<(), GlobalPoolInitialized> {
+    if GLOBAL.get().is_some() {
+        return Err(GlobalPoolInitialized);
+    }
+    GLOBAL_THREADS.store(threads, Ordering::SeqCst);
+    // Racing with a concurrent first `global()` call loses benignly: the
+    // store above either lands before the builder reads it, or is ignored.
+    if GLOBAL.get().is_some() {
+        return Err(GlobalPoolInitialized);
+    }
+    Ok(())
+}
+
+/// Error returned by [`configure_global_threads`] when the global pool has
+/// already been created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalPoolInitialized;
+
+impl std::fmt::Display for GlobalPoolInitialized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global mb-pool has already been initialized")
+    }
+}
+
+impl std::error::Error for GlobalPoolInitialized {}
+
+/// The process-wide pool, created on first use with
+/// [`configure_global_threads`]'s size or one worker per available core.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let requested = GLOBAL_THREADS.load(Ordering::SeqCst);
+        Pool::new(if requested == 0 {
+            available_threads()
+        } else {
+            requested
+        })
+    })
+}
+
+/// [`Pool::join`] on the [`global`] pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    global().join(a, b)
+}
+
+/// [`Pool::scope`] on the [`global`] pool.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    global().scope(op)
+}
+
+/// [`Pool::parallel_for`] on the [`global`] pool.
+pub fn parallel_for<T, F>(items: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    global().parallel_for(items, grain, f)
+}
+
+/// [`Pool::map_reduce`] on the [`global`] pool.
+pub fn map_reduce<T, A, M, R>(items: &[T], grain: usize, map: M, identity: A, reduce: R) -> A
+where
+    T: Sync,
+    A: Send + Clone,
+    M: Fn(&T) -> A + Sync,
+    R: Fn(A, A) -> A + Sync,
+{
+    global().map_reduce(items, grain, map, identity, reduce)
+}
+
+/// [`Pool::map_vec`] on the [`global`] pool.
+pub fn map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    global().map_vec(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.join(|| 1 + 1, || "two".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_join_computes_fibonacci() {
+        // Recursion forces workers to call back into the pool: every level
+        // below the first runs `join` *on a worker thread*, which must help
+        // execute queued tasks rather than deadlock waiting for itself.
+        fn fib(pool: &Pool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        let pool = Pool::new(3);
+        assert_eq!(fib(&pool, 16), 987);
+    }
+
+    #[test]
+    fn deep_nested_join_does_not_overflow_the_stack() {
+        // Regression test: help-first waiting used to execute arbitrary
+        // stolen jobs in the waiter's stack frame, so a chain of helped
+        // jobs could stack one frame set per *in-flight task* (~10k here)
+        // and abort with a stack overflow. The foreign-help depth bound
+        // keeps chains finite regardless of task count.
+        fn fib(pool: &Pool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        let pool = Pool::new(4);
+        assert_eq!(fib(&pool, 20), 6_765);
+    }
+
+    #[test]
+    fn scope_runs_borrowing_tasks_to_completion() {
+        let pool = Pool::new(4);
+        let mut counters = vec![0u64; 64];
+        pool.scope(|s| {
+            for (i, slot) in counters.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 * 2);
+            }
+        });
+        for (i, &value) in counters.iter().enumerate() {
+            assert_eq!(value, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_for_covers_every_element_exactly_once() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u32; 10_000];
+        pool.parallel_for(&mut data, 64, |start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot += (start + k) as u32 + 1;
+            }
+        });
+        for (i, &value) in data.iter().enumerate() {
+            assert_eq!(value, i as u32 + 1, "element {i} touched wrong number of times");
+        }
+    }
+
+    #[test]
+    fn parallel_for_runs_inline_below_grain() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u8; 8];
+        pool.parallel_for(&mut data, 1024, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 8);
+            chunk.fill(7);
+        });
+        assert!(data.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn map_vec_preserves_order() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..200).collect();
+        let mapped = pool.map_vec(items, |i| i * 3);
+        assert_eq!(mapped, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_reduce_concatenation_preserves_slice_order() {
+        // String concatenation is associative but NOT commutative: any
+        // out-of-order combination of chunk results changes the answer.
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..500).collect();
+        let expected: String = items.iter().map(|i| format!("{i},")).collect();
+        let got = pool.map_reduce(
+            &items,
+            8,
+            |i| format!("{i},"),
+            String::new(),
+            |a, b| a + &b,
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_and_pool_survives() {
+        let pool = Pool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task exploded"));
+                s.spawn(|| { /* sibling still runs */ });
+            });
+        }));
+        let payload = result.expect_err("scope should re-raise the task panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(message.contains("task exploded"), "payload: {message}");
+        // The worker that caught the panic keeps serving work.
+        let (a, b) = pool.join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn panic_in_join_closure_waits_for_sibling() {
+        let pool = Pool::new(2);
+        let done = AtomicBool::new(false);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(
+                || panic!("inline half"),
+                || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    done.store(true, Ordering::SeqCst);
+                },
+            )
+        }));
+        assert!(result.is_err());
+        // The spawned half must have completed before the panic was re-raised
+        // (otherwise it could still be using borrowed state).
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn single_thread_pool_still_completes_everything() {
+        let pool = Pool::new(1);
+        let items: Vec<u64> = (1..=100).collect();
+        let sum = pool.map_reduce(&items, 10, |&x| x, 0u64, |a, b| a + b);
+        assert_eq!(sum, 5050);
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn zero_requested_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers_after_draining() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Pool::new(2);
+            pool.scope(|s| {
+                for _ in 0..32 {
+                    let counter = Arc::clone(&counter);
+                    s.spawn(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        } // drop
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn global_pool_exists_and_configure_fails_after_init() {
+        assert!(global().num_threads() >= 1);
+        assert_eq!(configure_global_threads(4), Err(GlobalPoolInitialized));
+    }
+
+    #[test]
+    fn nested_parallel_for_inside_map_vec_tasks() {
+        // The FastMCD-inside-a-partition shape: coarse outer tasks that each
+        // fan out elementwise inner work on the same pool.
+        let pool = Pool::new(4);
+        let partitions: Vec<Vec<u64>> = (0..6).map(|p| (0..5_000).map(|i| p + i).collect()).collect();
+        let expected: Vec<u64> = partitions.iter().map(|v| v.iter().sum()).collect();
+        let sums = pool.map_vec(partitions, |mut partition| {
+            pool.parallel_for(&mut partition, 256, |_, chunk| {
+                for value in chunk.iter_mut() {
+                    *value = value.wrapping_mul(1); // touch every element
+                }
+            });
+            pool.map_reduce(&partition, 256, |&x| x, 0u64, |a, b| a + b)
+        });
+        assert_eq!(sums, expected);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn map_reduce_sum_matches_sequential(values in proptest::collection::vec(-1000i64..1000, 0..400)) {
+            let pool = Pool::new(3);
+            let sequential: i64 = values.iter().map(|v| v * v).sum();
+            let parallel = pool.map_reduce(&values, 7, |&v| v * v, 0i64, |a, b| a + b);
+            prop_assert_eq!(parallel, sequential);
+        }
+
+        #[test]
+        fn map_vec_matches_sequential_map(values in proptest::collection::vec(0u32..10_000, 0..200)) {
+            let pool = Pool::new(3);
+            let sequential: Vec<u64> = values.iter().map(|&v| (v as u64) << 1).collect();
+            let parallel = pool.map_vec(values, |v| (v as u64) << 1);
+            prop_assert_eq!(parallel, sequential);
+        }
+    }
+}

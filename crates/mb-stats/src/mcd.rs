@@ -7,10 +7,66 @@
 //! small subsets, repeatedly apply *C-steps* (re-fit location/scatter on the
 //! `h` points with smallest Mahalanobis distance under the current fit) until
 //! the determinant stops decreasing, and keep the best run.
+//!
+//! The Mahalanobis-distance pass inside each C-step — the dominant cost of
+//! training — scatters across the shared [`mb_pool`] work-stealing pool for
+//! large samples. The per-row arithmetic is unchanged, so training remains
+//! deterministic and bit-identical at any thread count.
 
 use crate::matrix::{covariance_matrix, Matrix};
 use crate::rand_ext::SplitMix64;
 use crate::{Estimator, Result, StatsError};
+use std::sync::Mutex;
+
+/// Minimum rows per task when the distance pass fans out on the shared
+/// work-stealing pool. Below this (per chunk) the arithmetic is cheaper
+/// than the queue round-trip, so the pass runs inline on the caller.
+const DISTANCE_GRAIN: usize = 2048;
+
+/// Squared Mahalanobis distance of `row` under `(mean, inv)`, shared by the
+/// serial scoring path and the parallel C-step distance pass.
+fn squared_distance(inv: &Matrix, mean: &[f64], row: &[f64]) -> Result<f64> {
+    let centered: Vec<f64> = row.iter().zip(mean.iter()).map(|(a, b)| a - b).collect();
+    let transformed = inv.matvec(&centered)?;
+    Ok(centered
+        .iter()
+        .zip(transformed.iter())
+        .map(|(a, b)| a * b)
+        .sum::<f64>())
+}
+
+/// Fill `distances` with `(d², row index)` for every row of `sample` under
+/// `(mean, inv)`, scattering chunks onto the global pool when the sample is
+/// large enough to amortize submission. The arithmetic per row is identical
+/// to the serial loop, so results are bit-identical regardless of thread
+/// count.
+fn distance_pass(
+    sample: &[Vec<f64>],
+    mean: &[f64],
+    inv: &Matrix,
+    distances: &mut Vec<(f64, usize)>,
+) -> Result<()> {
+    distances.clear();
+    distances.resize(sample.len(), (0.0, 0));
+    let first_error: Mutex<Option<StatsError>> = Mutex::new(None);
+    mb_pool::global().parallel_for(distances, DISTANCE_GRAIN, |start, chunk| {
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            let index = start + offset;
+            match squared_distance(inv, mean, &sample[index]) {
+                Ok(d2) => *slot = (d2, index),
+                Err(e) => {
+                    let mut slot = first_error.lock().unwrap();
+                    slot.get_or_insert(e);
+                    return;
+                }
+            }
+        }
+    });
+    match first_error.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
 
 /// Configuration for the FastMCD estimator.
 #[derive(Debug, Clone)]
@@ -101,14 +157,7 @@ impl McdEstimator {
                 actual: x.len(),
             });
         }
-        let centered: Vec<f64> = x.iter().zip(self.mean.iter()).map(|(a, b)| a - b).collect();
-        let transformed = inv.matvec(&centered)?;
-        Ok(centered
-            .iter()
-            .zip(transformed.iter())
-            .map(|(a, b)| a * b)
-            .sum::<f64>()
-            .max(0.0))
+        Ok(squared_distance(inv, &self.mean, x)?.max(0.0))
     }
 
     /// Mahalanobis distance (square root of [`squared_mahalanobis`]).
@@ -134,7 +183,9 @@ impl McdEstimator {
     }
 
     /// One C-step: given a fit, select the `h` points with the smallest
-    /// Mahalanobis distances under that fit.
+    /// Mahalanobis distances under that fit. The distance pass — the
+    /// dominant cost of FastMCD training — fans out across the shared
+    /// work-stealing pool for large samples.
     fn c_step(
         sample: &[Vec<f64>],
         mean: &[f64],
@@ -143,19 +194,29 @@ impl McdEstimator {
         distances: &mut Vec<(f64, usize)>,
     ) -> Result<Vec<usize>> {
         let inv = cov.inverse()?;
-        distances.clear();
-        for (idx, row) in sample.iter().enumerate() {
-            let centered: Vec<f64> = row.iter().zip(mean.iter()).map(|(a, b)| a - b).collect();
-            let transformed = inv.matvec(&centered)?;
-            let d2: f64 = centered
-                .iter()
-                .zip(transformed.iter())
-                .map(|(a, b)| a * b)
-                .sum();
-            distances.push((d2, idx));
-        }
+        distance_pass(sample, mean, &inv, distances)?;
         distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         Ok(distances.iter().take(h).map(|&(_, idx)| idx).collect())
+    }
+
+    /// Squared Mahalanobis distances of every row of `rows` from the fitted
+    /// distribution, computed in parallel on the shared pool — the same
+    /// pass a C-step performs during training, exposed for batch scoring
+    /// and the hot-path micro-benchmarks.
+    pub fn squared_mahalanobis_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let inv = self
+            .inverse_covariance
+            .as_ref()
+            .ok_or(StatsError::NotTrained)?;
+        if let Some(row) = rows.iter().find(|row| row.len() != self.mean.len()) {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.mean.len(),
+                actual: row.len(),
+            });
+        }
+        let mut distances = Vec::new();
+        distance_pass(rows, &self.mean, inv, &mut distances)?;
+        Ok(distances.into_iter().map(|(d2, _)| d2.max(0.0)).collect())
     }
 }
 
@@ -383,6 +444,54 @@ mod tests {
             a.score(&[3.0, 3.0]).unwrap(),
             b.score(&[3.0, 3.0]).unwrap()
         );
+    }
+
+    #[test]
+    fn batch_distances_match_single_point_scoring() {
+        // The batch pass must agree with per-point scoring even when the
+        // sample is large enough for the parallel path to engage.
+        let mut rng = SplitMix64::new(91);
+        let sample = gaussian_cloud(&mut rng, 1_000, &[1.0, -1.0, 0.5], 1.0);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let rows = gaussian_cloud(&mut rng, 10_000, &[1.0, -1.0, 0.5], 3.0);
+        let batch = est.squared_mahalanobis_batch(&rows).unwrap();
+        assert_eq!(batch.len(), rows.len());
+        for (row, &d2) in rows.iter().zip(batch.iter()) {
+            assert_eq!(d2, est.squared_mahalanobis(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_distances_validate_training_and_dimensions() {
+        let untrained = McdEstimator::with_defaults();
+        assert_eq!(
+            untrained.squared_mahalanobis_batch(&[vec![0.0]]),
+            Err(StatsError::NotTrained)
+        );
+        let mut rng = SplitMix64::new(92);
+        let sample = gaussian_cloud(&mut rng, 200, &[0.0, 0.0], 1.0);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        assert!(matches!(
+            est.squared_mahalanobis_batch(&[vec![1.0, 2.0, 3.0]]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn training_is_identical_above_the_parallel_threshold() {
+        // 6_000 rows puts every C-step's distance pass on the pool; the fit
+        // must be bit-identical to what the serial path produced (same
+        // arithmetic per row, same sort input).
+        let mut rng = SplitMix64::new(93);
+        let sample = gaussian_cloud(&mut rng, 6_000, &[3.0, -2.0], 1.5);
+        let mut a = McdEstimator::with_defaults();
+        let mut b = McdEstimator::with_defaults();
+        a.train(&sample).unwrap();
+        b.train(&sample).unwrap();
+        assert_eq!(a.location().unwrap(), b.location().unwrap());
+        assert_eq!(a.score(&[5.0, 5.0]).unwrap(), b.score(&[5.0, 5.0]).unwrap());
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   optical-flow features.
 //! * [`ingest`] — CSV ingestion and the synthetic workloads used by the
 //!   paper's evaluation.
+//! * [`pool`] — the work-stealing execution substrate behind the
+//!   partitioned modes, FastMCD's C-steps, and parallel attribute encoding
+//!   (vendored rayon stand-in; scoped `join`/`parallel_for`/`map_reduce`).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub use mb_classify as classify;
 pub use mb_explain as explain;
 pub use mb_fpgrowth as fpgrowth;
 pub use mb_ingest as ingest;
+pub use mb_pool as pool;
 pub use mb_sketch as sketch;
 pub use mb_stats as stats;
 pub use mb_transform as transform;
@@ -64,7 +68,7 @@ pub use mb_transform as transform;
 pub mod prelude {
     pub use crate::core::coordinated::run_coordinated;
     pub use crate::core::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
-    pub use crate::core::parallel::run_partitioned;
+    pub use crate::core::parallel::{default_num_partitions, run_partitioned};
     pub use crate::core::pipeline::{Pipeline, PipelineBuilder};
     pub use crate::core::presentation::render_report;
     pub use crate::core::streaming::{MdpStreaming, StreamingMdpConfig};

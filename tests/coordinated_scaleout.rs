@@ -102,6 +102,64 @@ fn coordinated_reproduces_one_shot_exactly_for_one_through_eight_partitions() {
 }
 
 #[test]
+fn coordinated_multivariate_mcd_reproduces_one_shot_on_the_pool() {
+    // Two metrics forces the FastMCD estimator, whose C-step distance pass
+    // fans out on the shared pool *inside* a partitioned run — the nested-
+    // parallelism shape the old per-call scoped-thread scatter could not
+    // express. The sample is large enough (> the pool's distance grain)
+    // that the pass genuinely scatters, and the guarantee must be unchanged:
+    // the coordinated report equals one-shot exactly at every partition
+    // count.
+    let mut points: Vec<Point> = (0..12_000)
+        .map(|i| {
+            Point::new(
+                vec![10.0 + (i % 7) as f64 * 0.1, 20.0 + (i % 5) as f64 * 0.1],
+                vec![format!("device_{}", i % 40), format!("fw_{}", i % 3)],
+            )
+        })
+        .collect();
+    for i in 0..120 {
+        points[i * 100] = Point::new(
+            vec![200.0, 300.0],
+            vec!["device_bad".to_string(), "fw_1".to_string()],
+        );
+    }
+    let config = MdpConfig {
+        explanation: ExplanationConfig::new(0.01, 3.0),
+        attribute_names: vec!["device_id".to_string(), "firmware".to_string()],
+        ..MdpConfig::default()
+    };
+
+    let one_shot = MdpOneShot::new(config.clone()).run(&points).unwrap();
+    assert!(one_shot.num_outliers > 0);
+    let reference = explanation_index(&one_shot);
+    assert!(reference
+        .keys()
+        .any(|attrs| attrs.iter().any(|a| a.contains("device_bad"))));
+
+    for num_partitions in 1..=8 {
+        let coordinated = run_coordinated(&points, num_partitions, &config).unwrap();
+        assert_eq!(coordinated.num_outliers, one_shot.num_outliers);
+        assert_eq!(coordinated.score_cutoff, one_shot.score_cutoff);
+        let merged = explanation_index(&coordinated);
+        assert_eq!(
+            merged.keys().collect::<Vec<_>>(),
+            reference.keys().collect::<Vec<_>>(),
+            "multivariate explanation set diverged at {num_partitions} partitions"
+        );
+        for (attrs, stats) in &merged {
+            let (ref_outlier, ref_inlier, ref_ratio) = reference[attrs];
+            assert!((stats.0 - ref_outlier).abs() < 1e-9);
+            assert!((stats.1 - ref_inlier).abs() < 1e-9);
+            assert!(
+                (stats.2 - ref_ratio).abs() < 1e-9
+                    || (stats.2.is_infinite() && ref_ratio.is_infinite())
+            );
+        }
+    }
+}
+
+#[test]
 fn naive_partitioning_diverges_where_coordinated_does_not() {
     // The motivating contrast: at 8 partitions the naïve mode's explanation
     // set differs from one-shot on this workload (per-partition thresholds

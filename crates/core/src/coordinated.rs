@@ -1,11 +1,13 @@
 //! Coordinated partitioned execution: the mergeable-state answer to the
 //! naïve shared-nothing scale-out of Appendix D.
 //!
-//! [`run_partitioned`] trades accuracy for cores: every partition trains its
-//! own model, cuts its own threshold, prunes by its own local support, and
-//! the partitions' *rendered* explanations are unioned after the fact — so
-//! accuracy degrades as partitions shrink (the Figure 11 trade-off). In the
-//! spirit of coordination-avoiding execution, [`run_coordinated`] keeps the
+//! [`Executor::NaivePartitioned`](crate::query::Executor) trades accuracy
+//! for cores: every partition trains its own model, cuts its own threshold,
+//! prunes by its own local support, and the partitions' *rendered*
+//! explanations are unioned after the fact — so accuracy degrades as
+//! partitions shrink (the Figure 11 trade-off). In the spirit of
+//! coordination-avoiding execution,
+//! [`Executor::Coordinated`](crate::query::Executor) keeps the
 //! communication-free partition loop but reconciles through mergeable state
 //! instead of rendered strings:
 //!
@@ -15,163 +17,52 @@
 //! 2. **One threshold** — the percentile cutoff is computed over the merged
 //!    score vector, not per partition.
 //! 3. **Merged explanation state** — each partition builds a pre-render
-//!    [`ExplainState`] (encoded itemset counts + class totals); states merge
-//!    on items ([`Mergeable`]) and support/risk-ratio thresholds apply to
-//!    the *merged* counts.
+//!    [`ExplainState`](mb_explain::partition::ExplainState) (encoded itemset
+//!    counts + class totals); states merge on items
+//!    ([`Mergeable`](mb_explain::Mergeable)) and support/risk-ratio
+//!    thresholds apply to the *merged* counts.
 //!
 //! The result is the one-shot report — same explanation set, same counts up
 //! to floating-point summation order — for any partition count, while the
 //! scoring and counting passes (the bulk of the work) still scale with
-//! cores.
-//!
-//! [`run_partitioned`]: crate::parallel::run_partitioned
+//! cores. The engine lives in [`crate::executor`]; this module keeps the
+//! deprecated free-function entry point.
 
-use crate::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
-use crate::parallel::{partition_chunks, scatter};
-use crate::types::{MdpReport, Point, RenderedExplanation};
+use crate::query::{AnalysisConfig, Executor, MdpQuery};
+use crate::types::{MdpReport, Point};
 use crate::Result;
-use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
-use mb_classify::threshold::StaticThreshold;
-use mb_explain::batch::BatchExplainer;
-use mb_explain::encoder::{encode_rows_parallel, AttributeEncoder};
-use mb_explain::partition::ExplainState;
-use mb_explain::risk_ratio::rank_explanations;
-use mb_explain::Mergeable;
-use mb_fpgrowth::Item;
-use mb_stats::mad::MadEstimator;
-use mb_stats::mcd::McdEstimator;
-use mb_stats::zscore::ZScoreEstimator;
-use mb_stats::Estimator;
 
 /// Execute `config` over `points` split into `num_partitions` partitions
 /// with a shared trained model, a global score threshold, and merged
-/// explanation state. Produces exactly the report [`MdpOneShot::run`] would,
-/// for any partition count. Pass `0` for `num_partitions` to use one
-/// partition per available core
+/// explanation state (superseded by
+/// [`MdpQuery::execute`](crate::query::MdpQuery::execute) with
+/// [`Executor::Coordinated`](crate::query::Executor)). Produces exactly the
+/// one-shot report for any partition count. Pass `0` for `num_partitions`
+/// to use one partition per pool worker
 /// ([`crate::parallel::default_num_partitions`]).
+#[deprecated(
+    since = "0.5.0",
+    note = "use MdpQuery::execute with Executor::Coordinated { partitions }"
+)]
 pub fn run_coordinated(
     points: &[Point],
     num_partitions: usize,
-    config: &MdpConfig,
+    config: &AnalysisConfig,
 ) -> Result<MdpReport> {
-    let num_partitions = crate::parallel::resolve_num_partitions(num_partitions);
-    let dim = MdpOneShot::check_dimensions(points)?;
-    match config.estimator.resolve(dim) {
-        EstimatorKind::Mad => run_with(MadEstimator::new(), points, num_partitions, config),
-        EstimatorKind::ZScore => run_with(ZScoreEstimator::new(), points, num_partitions, config),
-        EstimatorKind::Mcd => {
-            run_with(McdEstimator::with_defaults(), points, num_partitions, config)
-        }
-        EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
-    }
+    MdpQuery::new(config.clone()).execute(
+        &Executor::Coordinated {
+            partitions: num_partitions,
+        },
+        points,
+    )
 }
 
-fn run_with<E: Estimator + Sync>(
-    estimator: E,
-    points: &[Point],
-    num_partitions: usize,
-    config: &MdpConfig,
-) -> Result<MdpReport> {
-    let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
-
-    // Train once on the global batch (or its configured sample) and
-    // broadcast the fitted model to partitions by shared reference.
-    let mut classifier = BatchClassifier::new(
-        estimator,
-        BatchClassifierConfig {
-            target_percentile: config.target_percentile,
-            training_sample_size: config.training_sample_size,
-        },
-    );
-    classifier.fit(&metrics)?;
-
-    // Scatter: partitions score communication-free against the shared model.
-    let classifier_ref = &classifier;
-    let score_chunks: Vec<mb_stats::Result<Vec<f64>>> =
-        scatter(partition_chunks(&metrics, num_partitions), |chunk| {
-            chunk.iter().map(|row| classifier_ref.score_point(row)).collect()
-        });
-    let mut scores: Vec<f64> = Vec::with_capacity(points.len());
-    for chunk in score_chunks {
-        scores.extend(chunk?);
-    }
-
-    // Gather: one percentile threshold over the merged score vector.
-    let threshold = StaticThreshold::from_scores(&scores, config.target_percentile)
-        .map_err(crate::PipelineError::from)?;
-    let cutoff = threshold.cutoff();
-    let num_outliers = scores.iter().filter(|&&s| s >= cutoff).count();
-
-    let explanations = if config.skip_explanation {
-        Vec::new()
-    } else {
-        // Encode attributes through one shared dictionary so item ids agree
-        // across partitions (the naïve mode's per-partition encoders are why
-        // it can only union rendered strings). The encode pass itself shards
-        // across the pool; the first-occurrence-ordered dictionary merge
-        // keeps the assigned ids identical to a serial pass, so this does
-        // not perturb the one-shot-equivalence guarantee.
-        let mut encoder = if config.attribute_names.is_empty() {
-            AttributeEncoder::new()
-        } else {
-            AttributeEncoder::with_column_names(config.attribute_names.clone())
-        };
-        let attribute_rows: Vec<&[String]> =
-            points.iter().map(|p| p.attributes.as_slice()).collect();
-        let transactions: Vec<Vec<Item>> = encode_rows_parallel(
-            &mut encoder,
-            mb_pool::global(),
-            &attribute_rows,
-            num_partitions,
-        );
-
-        // Scatter: per-partition pre-render explanation state.
-        let txn_chunks = partition_chunks(&transactions, num_partitions);
-        let label_chunks = partition_chunks(&scores, num_partitions);
-        let work: Vec<(&[Vec<Item>], &[f64])> =
-            txn_chunks.into_iter().zip(label_chunks).collect();
-        let states: Vec<ExplainState> = scatter(work, |(txns, chunk_scores)| {
-            let mut state = ExplainState::new();
-            for (items, score) in txns.iter().zip(chunk_scores.iter()) {
-                state.observe(items, *score >= cutoff);
-            }
-            state
-        });
-
-        // Gather: merge on items, then threshold on the merged counts.
-        let mut merged = ExplainState::new();
-        for state in states {
-            merged.merge(state);
-        }
-        let explainer = BatchExplainer::new(config.explanation);
-        let mut explanations = explainer.explain_state(&merged);
-        rank_explanations(&mut explanations);
-        explanations
-            .into_iter()
-            .map(|e| RenderedExplanation {
-                attributes: encoder.describe(&e.items),
-                items: e.items,
-                stats: e.stats,
-            })
-            .collect()
-    };
-
-    Ok(MdpReport {
-        explanations,
-        num_points: points.len(),
-        num_outliers,
-        score_cutoff: Some(cutoff),
-        scores: if config.retain_scores {
-            scores
-        } else {
-            Vec::new()
-        },
-    })
-}
-
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
+    use crate::oneshot::MdpOneShot;
     use mb_explain::ExplanationConfig;
 
     fn workload(n: usize) -> Vec<Point> {
@@ -189,11 +80,11 @@ mod tests {
         points
     }
 
-    fn config() -> MdpConfig {
-        MdpConfig {
+    fn config() -> AnalysisConfig {
+        AnalysisConfig {
             explanation: ExplanationConfig::new(0.01, 3.0),
             attribute_names: vec!["device_id".to_string()],
-            ..MdpConfig::default()
+            ..AnalysisConfig::default()
         }
     }
 
@@ -233,7 +124,7 @@ mod tests {
         let report = run_coordinated(
             &points,
             4,
-            &MdpConfig {
+            &AnalysisConfig {
                 skip_explanation: true,
                 retain_scores: true,
                 ..config()

@@ -1,0 +1,625 @@
+//! Batch execution engines behind the [`Executor`](crate::query::Executor)
+//! backends, built by driving the Table 1 operator traits.
+//!
+//! All three batch backends share two real operators:
+//!
+//! * [`MdpClassifier`] — the MDP classification stage as a
+//!   [`Classifier`]: robust-estimator scoring at a percentile threshold,
+//!   optionally OR-ed with a supervised [`RuleClassifier`] (hybrid
+//!   supervision), or rule-only.
+//! * [`MdpExplainer`] — the MDP explanation stage as an [`Explainer`]:
+//!   dictionary attribute encoding feeding the cardinality-aware risk-ratio
+//!   strategy (Algorithm 2), ranked and rendered.
+//!
+//! `execute_one_shot` composes exactly these two; the naïve partitioned
+//! engine runs it per partition; the coordinated engine decomposes the
+//! classifier into fit/score/threshold so one model can be broadcast and one
+//! threshold cut over merged scores, and swaps the explainer's accumulation
+//! for mergeable [`ExplainState`]s — reproducing the one-shot report exactly
+//! at any partition count.
+
+use crate::operator::{Classifier, Explainer};
+use crate::parallel::{partition_chunks, resolve_num_partitions, scatter};
+use crate::query::{AnalysisConfig, EstimatorKind};
+use crate::types::{MdpReport, Point, RenderedExplanation};
+use crate::{PipelineError, Result};
+use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
+use mb_classify::rule::{label_or, RuleClassifier};
+use mb_classify::threshold::StaticThreshold;
+use mb_classify::{Classification, Label};
+use mb_explain::batch::BatchExplainer;
+use mb_explain::encoder::{encode_rows_parallel, AttributeEncoder};
+use mb_explain::partition::ExplainState;
+use mb_explain::risk_ratio::rank_explanations;
+use mb_explain::Mergeable;
+use mb_fpgrowth::Item;
+use mb_stats::mad::MadEstimator;
+use mb_stats::mcd::McdEstimator;
+use mb_stats::zscore::ZScoreEstimator;
+use mb_stats::Estimator;
+use std::collections::HashMap;
+
+/// The classifier/rule/flags slice of a query, borrowed for an execution.
+#[derive(Clone, Copy)]
+pub(crate) struct QueryParts<'a> {
+    pub analysis: &'a AnalysisConfig,
+    pub rule: Option<&'a RuleClassifier>,
+    pub unsupervised: bool,
+}
+
+/// Validate that all points share one non-zero metric dimensionality;
+/// returns it.
+pub(crate) fn check_dimensions(points: &[Point]) -> Result<usize> {
+    let first = points.first().ok_or(PipelineError::EmptyInput)?;
+    let dim = first.dimension();
+    if dim == 0 {
+        return Err(PipelineError::InvalidConfiguration(
+            "points must have at least one metric".to_string(),
+        ));
+    }
+    for p in points {
+        if p.dimension() != dim {
+            return Err(PipelineError::InconsistentDimensions {
+                expected: dim,
+                actual: p.dimension(),
+            });
+        }
+    }
+    Ok(dim)
+}
+
+/// The MDP classification stage as a reusable [`Classifier`] operator:
+/// unsupervised robust-estimator scoring cut at a percentile, a supervised
+/// rule, or both OR-ed (hybrid supervision).
+#[derive(Debug, Clone)]
+pub struct MdpClassifier {
+    estimator: EstimatorKind,
+    config: BatchClassifierConfig,
+    rule: Option<RuleClassifier>,
+    unsupervised: bool,
+    cutoff: Option<f64>,
+}
+
+impl MdpClassifier {
+    /// An unsupervised classifier from an analysis configuration.
+    pub fn from_analysis(analysis: &AnalysisConfig) -> Self {
+        Self::with_rule(analysis, None, true)
+    }
+
+    /// A classifier with explicit stages; at least one of `rule` /
+    /// `unsupervised` must be active (the query builder guarantees this).
+    pub fn with_rule(
+        analysis: &AnalysisConfig,
+        rule: Option<RuleClassifier>,
+        unsupervised: bool,
+    ) -> Self {
+        MdpClassifier {
+            estimator: analysis.estimator,
+            config: BatchClassifierConfig {
+                target_percentile: analysis.target_percentile,
+                training_sample_size: analysis.training_sample_size,
+            },
+            rule,
+            unsupervised,
+            cutoff: None,
+        }
+    }
+
+    /// The percentile score cutoff fitted by the last
+    /// [`classify`](Classifier::classify) call (`None` for rule-only
+    /// classification, which has no score distribution).
+    pub fn cutoff(&self) -> Option<f64> {
+        self.cutoff
+    }
+
+    fn classify_unsupervised<E: Estimator>(
+        &mut self,
+        estimator: E,
+        metrics: &[Vec<f64>],
+    ) -> Result<Vec<Classification>> {
+        let mut classifier = BatchClassifier::new(estimator, self.config);
+        let classifications = classifier.classify_batch(metrics)?;
+        self.cutoff = classifier.threshold().map(|t| t.cutoff());
+        Ok(classifications)
+    }
+}
+
+impl Classifier for MdpClassifier {
+    fn classify(&mut self, points: &[Point]) -> Result<Vec<Classification>> {
+        let dim = check_dimensions(points)?;
+        let mut classifications = if self.unsupervised {
+            let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
+            match self.estimator.resolve(dim) {
+                EstimatorKind::Mad => self.classify_unsupervised(MadEstimator::new(), &metrics)?,
+                EstimatorKind::ZScore => {
+                    self.classify_unsupervised(ZScoreEstimator::new(), &metrics)?
+                }
+                EstimatorKind::Mcd => {
+                    self.classify_unsupervised(McdEstimator::with_defaults(), &metrics)?
+                }
+                EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
+            }
+        } else {
+            self.cutoff = None;
+            vec![
+                Classification {
+                    score: 0.0,
+                    label: Label::Inlier,
+                };
+                points.len()
+            ]
+        };
+        if let Some(rule) = &self.rule {
+            for (classification, point) in classifications.iter_mut().zip(points) {
+                classification.label =
+                    label_or(classification.label, rule.classify(&point.metrics));
+            }
+        }
+        Ok(classifications)
+    }
+}
+
+/// The MDP explanation stage as a reusable [`Explainer`] operator:
+/// dictionary-encode attributes, split transactions by label, and run the
+/// cardinality-aware risk-ratio strategy, ranked and rendered.
+pub struct MdpExplainer {
+    encoder: AttributeEncoder,
+    config: mb_explain::ExplanationConfig,
+    outlier_txns: Vec<Vec<Item>>,
+    inlier_txns: Vec<Vec<Item>>,
+}
+
+impl MdpExplainer {
+    /// An explainer from an analysis configuration (thresholds + attribute
+    /// column names).
+    pub fn from_analysis(analysis: &AnalysisConfig) -> Self {
+        MdpExplainer {
+            encoder: encoder_for(analysis),
+            config: analysis.explanation,
+            outlier_txns: Vec::new(),
+            inlier_txns: Vec::new(),
+        }
+    }
+}
+
+impl Explainer for MdpExplainer {
+    fn consume(&mut self, points: &[Point], classifications: &[Classification]) {
+        for (point, classification) in points.iter().zip(classifications) {
+            let items = self.encoder.encode_point(&point.attributes);
+            if classification.label.is_outlier() {
+                self.outlier_txns.push(items);
+            } else {
+                self.inlier_txns.push(items);
+            }
+        }
+    }
+
+    fn explanations(&mut self) -> Vec<RenderedExplanation> {
+        let explainer = BatchExplainer::new(self.config);
+        let mut explanations = explainer.explain(&self.outlier_txns, &self.inlier_txns);
+        rank_explanations(&mut explanations);
+        explanations
+            .into_iter()
+            .map(|e| RenderedExplanation {
+                attributes: self.encoder.describe(&e.items),
+                items: e.items,
+                stats: e.stats,
+            })
+            .collect()
+    }
+}
+
+/// The attribute encoder a query's analysis configuration asks for (named
+/// columns when given, anonymous otherwise). Shared by every backend so the
+/// selection rule cannot drift between batch and streaming engines.
+pub(crate) fn encoder_for(analysis: &AnalysisConfig) -> AttributeEncoder {
+    if analysis.attribute_names.is_empty() {
+        AttributeEncoder::new()
+    } else {
+        AttributeEncoder::with_column_names(analysis.attribute_names.clone())
+    }
+}
+
+/// The one-shot engine: drive [`MdpClassifier`] then [`MdpExplainer`] over
+/// the whole batch on the calling thread. Returns the per-point
+/// classifications (for callers that need labeled points, e.g. the
+/// deprecated `Pipeline::run`) alongside the unified report.
+pub(crate) fn execute_one_shot(
+    parts: QueryParts<'_>,
+    points: &[Point],
+) -> Result<(Vec<Classification>, MdpReport)> {
+    let mut classifier =
+        MdpClassifier::with_rule(parts.analysis, parts.rule.cloned(), parts.unsupervised);
+    let classifications = classifier.classify(points)?;
+    let num_outliers = classifications
+        .iter()
+        .filter(|c| c.label.is_outlier())
+        .count();
+
+    let explanations = if parts.analysis.skip_explanation {
+        Vec::new()
+    } else {
+        let mut explainer = MdpExplainer::from_analysis(parts.analysis);
+        explainer.consume(points, &classifications);
+        explainer.explanations()
+    };
+
+    let report = MdpReport {
+        explanations,
+        num_points: points.len(),
+        num_outliers,
+        score_cutoff: classifier.cutoff(),
+        scores: if parts.analysis.retain_scores {
+            classifications.iter().map(|c| c.score).collect()
+        } else {
+            Vec::new()
+        },
+        partition_reports: None,
+    };
+    Ok((classifications, report))
+}
+
+/// Fit once on the global batch, scatter the scoring pass, and cut one
+/// threshold over the merged score vector.
+fn coordinated_scores<E: Estimator + Sync>(
+    estimator: E,
+    metrics: &[Vec<f64>],
+    num_partitions: usize,
+    analysis: &AnalysisConfig,
+) -> Result<(Vec<f64>, f64)> {
+    let mut classifier = BatchClassifier::new(
+        estimator,
+        BatchClassifierConfig {
+            target_percentile: analysis.target_percentile,
+            training_sample_size: analysis.training_sample_size,
+        },
+    );
+    classifier.fit(metrics)?;
+
+    // Scatter: partitions score communication-free against the shared model.
+    let classifier_ref = &classifier;
+    let score_chunks: Vec<mb_stats::Result<Vec<f64>>> =
+        scatter(partition_chunks(metrics, num_partitions), |chunk| {
+            chunk
+                .iter()
+                .map(|row| classifier_ref.score_point(row))
+                .collect()
+        });
+    let mut scores: Vec<f64> = Vec::with_capacity(metrics.len());
+    for chunk in score_chunks {
+        scores.extend(chunk?);
+    }
+
+    // Gather: one percentile threshold over the merged score vector.
+    let threshold = StaticThreshold::from_scores(&scores, analysis.target_percentile)
+        .map_err(PipelineError::from)?;
+    Ok((scores, threshold.cutoff()))
+}
+
+/// The coordinated partitioned engine: shared trained model, global score
+/// threshold, merged pre-render explanation state. Produces exactly the
+/// one-shot report for any partition count (see the module docs of
+/// [`crate::coordinated`] for the design rationale).
+pub(crate) fn execute_coordinated(
+    parts: QueryParts<'_>,
+    points: &[Point],
+    num_partitions: usize,
+) -> Result<MdpReport> {
+    let num_partitions = resolve_num_partitions(num_partitions);
+    let dim = check_dimensions(points)?;
+    let analysis = parts.analysis;
+
+    let (scores, cutoff) = if parts.unsupervised {
+        let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
+        let (scores, cutoff) = match analysis.estimator.resolve(dim) {
+            EstimatorKind::Mad => {
+                coordinated_scores(MadEstimator::new(), &metrics, num_partitions, analysis)?
+            }
+            EstimatorKind::ZScore => {
+                coordinated_scores(ZScoreEstimator::new(), &metrics, num_partitions, analysis)?
+            }
+            EstimatorKind::Mcd => coordinated_scores(
+                McdEstimator::with_defaults(),
+                &metrics,
+                num_partitions,
+                analysis,
+            )?,
+            EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
+        };
+        (scores, Some(cutoff))
+    } else {
+        (vec![0.0; points.len()], None)
+    };
+
+    // Label merge: percentile cutoff OR-ed with the supervised rule (the
+    // rule evaluates per point, so it scatters alongside the scores).
+    let labels: Vec<bool> = match (parts.rule, cutoff) {
+        (None, Some(cutoff)) => scores.iter().map(|&s| s >= cutoff).collect(),
+        (None, None) => return Err(PipelineError::MissingClassifier),
+        (Some(rule), cutoff) => {
+            let point_chunks = partition_chunks(points, num_partitions);
+            let score_chunks = partition_chunks(&scores, num_partitions);
+            let work: Vec<(&[Point], &[f64])> =
+                point_chunks.into_iter().zip(score_chunks).collect();
+            let label_chunks: Vec<Vec<bool>> = scatter(work, |(chunk, chunk_scores)| {
+                chunk
+                    .iter()
+                    .zip(chunk_scores)
+                    .map(|(point, &score)| {
+                        cutoff.is_some_and(|c| score >= c)
+                            || rule.classify(&point.metrics).is_outlier()
+                    })
+                    .collect()
+            });
+            label_chunks.concat()
+        }
+    };
+    let num_outliers = labels.iter().filter(|&&outlier| outlier).count();
+
+    let explanations = if analysis.skip_explanation {
+        Vec::new()
+    } else {
+        // Encode attributes through one shared dictionary so item ids agree
+        // across partitions (the naïve mode's per-partition encoders are why
+        // it can only union rendered strings). The encode pass itself shards
+        // across the pool; the first-occurrence-ordered dictionary merge
+        // keeps the assigned ids identical to a serial pass, so this does
+        // not perturb the one-shot-equivalence guarantee.
+        let mut encoder = encoder_for(analysis);
+        let attribute_rows: Vec<&[String]> =
+            points.iter().map(|p| p.attributes.as_slice()).collect();
+        let transactions: Vec<Vec<Item>> = encode_rows_parallel(
+            &mut encoder,
+            mb_pool::global(),
+            &attribute_rows,
+            num_partitions,
+        );
+
+        // Scatter: per-partition pre-render explanation state.
+        let txn_chunks = partition_chunks(&transactions, num_partitions);
+        let label_chunks = partition_chunks(&labels, num_partitions);
+        let work: Vec<(&[Vec<Item>], &[bool])> =
+            txn_chunks.into_iter().zip(label_chunks).collect();
+        let states: Vec<ExplainState> = scatter(work, |(txns, chunk_labels)| {
+            let mut state = ExplainState::new();
+            for (items, &is_outlier) in txns.iter().zip(chunk_labels.iter()) {
+                state.observe(items, is_outlier);
+            }
+            state
+        });
+
+        // Gather: merge on items, then threshold on the merged counts.
+        let mut merged = ExplainState::new();
+        for state in states {
+            merged.merge(state);
+        }
+        let explainer = BatchExplainer::new(analysis.explanation);
+        let mut explanations = explainer.explain_state(&merged);
+        rank_explanations(&mut explanations);
+        explanations
+            .into_iter()
+            .map(|e| RenderedExplanation {
+                attributes: encoder.describe(&e.items),
+                items: e.items,
+                stats: e.stats,
+            })
+            .collect()
+    };
+
+    Ok(MdpReport {
+        explanations,
+        num_points: points.len(),
+        num_outliers,
+        score_cutoff: cutoff,
+        scores: if analysis.retain_scores {
+            scores
+        } else {
+            Vec::new()
+        },
+        partition_reports: None,
+    })
+}
+
+/// Union explanations across partition reports, deduplicating by the
+/// rendered attribute combination (keep the highest risk ratio observed for
+/// each), sorted by risk ratio.
+pub(crate) fn merge_rendered_explanations(
+    partition_reports: &[MdpReport],
+) -> Vec<RenderedExplanation> {
+    let mut merged: Vec<RenderedExplanation> = Vec::new();
+    let mut by_combination: HashMap<Vec<String>, usize> = HashMap::new();
+    for report in partition_reports {
+        for e in &report.explanations {
+            match by_combination.get(&e.attributes) {
+                Some(&idx) => {
+                    if e.stats.risk_ratio > merged[idx].stats.risk_ratio {
+                        merged[idx].stats = e.stats.clone();
+                    }
+                }
+                None => {
+                    by_combination.insert(e.attributes.clone(), merged.len());
+                    merged.push(e.clone());
+                }
+            }
+        }
+    }
+    merged.sort_by(|a, b| {
+        b.stats
+            .risk_ratio
+            .partial_cmp(&a.stats.risk_ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    merged
+}
+
+/// The naïve shared-nothing engine (Appendix D, Figure 11): run the
+/// one-shot engine independently per partition as pool tasks, union the
+/// rendered explanations, and preserve the per-partition reports in
+/// [`MdpReport::partition_reports`]. The unified report has no global score
+/// cutoff (each partition cut its own — they live in the partition reports).
+pub(crate) fn execute_naive(
+    parts: QueryParts<'_>,
+    points: &[Point],
+    num_partitions: usize,
+) -> Result<MdpReport> {
+    if points.is_empty() {
+        return Err(PipelineError::EmptyInput);
+    }
+    let num_partitions = resolve_num_partitions(num_partitions);
+    let chunks = partition_chunks(points, num_partitions);
+
+    // Run each partition as its own pool task (shared-nothing: each gets its
+    // own classifier and explainer and sees only its chunk).
+    let results: Vec<Result<(Vec<Classification>, MdpReport)>> =
+        scatter(chunks, |chunk| execute_one_shot(parts, chunk));
+
+    let mut partition_reports = Vec::with_capacity(results.len());
+    for r in results {
+        partition_reports.push(r?.1);
+    }
+
+    let merged = merge_rendered_explanations(&partition_reports);
+    let num_outliers = partition_reports.iter().map(|r| r.num_outliers).sum();
+    let scores: Vec<f64> = if parts.analysis.retain_scores {
+        partition_reports
+            .iter()
+            .flat_map(|r| r.scores.iter().copied())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Ok(MdpReport {
+        explanations: merged,
+        num_points: points.len(),
+        num_outliers,
+        score_cutoff: None,
+        scores,
+        partition_reports: Some(partition_reports),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Executor, MdpQuery};
+    use mb_classify::rule::Comparison;
+    use mb_explain::ExplanationConfig;
+
+    fn workload(n: usize) -> Vec<Point> {
+        let mut points: Vec<Point> = (0..n)
+            .map(|i| {
+                Point::new(
+                    vec![10.0 + (i % 9) as f64 * 0.2],
+                    vec![format!("device_{}", i % 60)],
+                )
+            })
+            .collect();
+        for i in 0..(n / 100) {
+            points[i * 100] = Point::new(vec![400.0], vec!["device_bad".to_string()]);
+        }
+        points
+    }
+
+    fn query() -> MdpQuery {
+        MdpQuery::builder()
+            .explanation(ExplanationConfig::new(0.01, 3.0))
+            .attribute_names(vec!["device_id".to_string()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classifier_operator_reports_cutoff_and_labels() {
+        let points = workload(5_000);
+        let mut classifier = MdpClassifier::from_analysis(query().analysis());
+        let classifications = classifier.classify(&points).unwrap();
+        assert_eq!(classifications.len(), 5_000);
+        let cutoff = classifier.cutoff().unwrap();
+        for c in &classifications {
+            assert_eq!(c.label.is_outlier(), c.score >= cutoff);
+        }
+    }
+
+    #[test]
+    fn explainer_operator_renders_the_planted_device() {
+        let points = workload(5_000);
+        let mut classifier = MdpClassifier::from_analysis(query().analysis());
+        let classifications = classifier.classify(&points).unwrap();
+        let mut explainer = MdpExplainer::from_analysis(query().analysis());
+        explainer.consume(&points, &classifications);
+        let explanations = explainer.explanations();
+        assert!(explanations
+            .iter()
+            .any(|e| e.attributes.iter().any(|a| a.contains("device_bad"))));
+    }
+
+    #[test]
+    fn hybrid_rule_is_ored_on_every_batch_backend() {
+        // 10 rule-only anomalies (value 150) are too few for the percentile
+        // classifier; the rule must flag them on every backend.
+        let mut points = workload(5_000);
+        for i in 0..10 {
+            points[i * 37 + 1] = Point::new(vec![150.0], vec!["device_rule".to_string()]);
+        }
+        let build = || {
+            MdpQuery::builder()
+                .explanation(ExplanationConfig::new(0.0005, 3.0))
+                .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 100.0))
+                .build()
+                .unwrap()
+        };
+        let reference = run(build(), &Executor::OneShot, &points).num_outliers;
+        for executor in [
+            Executor::Coordinated { partitions: 4 },
+            Executor::NaivePartitioned { partitions: 4 },
+        ] {
+            let report = run(build(), &executor, &points);
+            assert!(
+                report.num_outliers >= 10,
+                "{} dropped rule matches",
+                executor.name()
+            );
+            if matches!(executor, Executor::Coordinated { .. }) {
+                assert_eq!(report.num_outliers, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_report_preserves_partition_detail() {
+        let points = workload(8_000);
+        let mut q = query();
+        let report = q
+            .execute(&Executor::NaivePartitioned { partitions: 4 }, &points)
+            .unwrap();
+        let partitions = report.partition_reports.as_ref().unwrap();
+        assert_eq!(partitions.len(), 4);
+        assert_eq!(
+            partitions.iter().map(|r| r.num_points).sum::<usize>(),
+            8_000
+        );
+        assert_eq!(
+            partitions.iter().map(|r| r.num_outliers).sum::<usize>(),
+            report.num_outliers
+        );
+        assert!(report.score_cutoff.is_none());
+        assert!(partitions.iter().all(|r| r.score_cutoff.is_some()));
+    }
+
+    #[test]
+    fn coordinated_matches_one_shot_through_the_new_engines() {
+        let points = workload(10_000);
+        let reference = run(query(), &Executor::OneShot, &points);
+        for partitions in [1, 2, 4, 8] {
+            let report = run(query(), &Executor::Coordinated { partitions }, &points);
+            assert_eq!(report.num_outliers, reference.num_outliers);
+            assert_eq!(report.score_cutoff, reference.score_cutoff);
+            assert_eq!(report.explanations.len(), reference.explanations.len());
+        }
+    }
+
+    fn run(mut query: MdpQuery, executor: &Executor, points: &[Point]) -> MdpReport {
+        query.execute(executor, points).unwrap()
+    }
+}

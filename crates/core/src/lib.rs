@@ -1,34 +1,37 @@
 //! MacroBase-RS core: data types, the operator trait system, and the default
-//! analysis pipeline (MDP) in one-shot, streaming, hybrid, and partitioned
-//! forms.
+//! analysis pipeline (MDP) behind one query surface with pluggable
+//! execution backends.
 //!
 //! This crate assembles the substrates (`mb-stats`, `mb-sketch`,
-//! `mb-fpgrowth`, `mb-classify`, `mb-explain`, `mb-transform`) into the
-//! system described in Sections 3–5 of *MacroBase: Prioritizing Attention in
-//! Fast Data*:
+//! `mb-fpgrowth`, `mb-classify`, `mb-explain`, `mb-transform`, `mb-ingest`)
+//! into the system described in Sections 3–5 of *MacroBase: Prioritizing
+//! Attention in Fast Data*:
 //!
 //! * [`types`] — [`Point`], labels, and rendered explanation reports.
-//! * [`operator`] — the typed operator interfaces of Table 1 (Transformer,
-//!   Classifier, Explainer) and adapters for closures.
-//! * [`oneshot`] — one-shot MDP execution over a batch of points.
-//! * [`streaming`] — exponentially weighted streaming (EWS) MDP execution.
-//! * [`pipeline`] — a builder for custom pipelines: domain-specific
-//!   transformers up front, an unsupervised and/or rule-based classifier,
-//!   and the risk-ratio explainer (used by the Section 6.4 case studies).
-//! * [`parallel`] — the naïve shared-nothing partitioned executor of
-//!   Figure 11.
-//! * [`coordinated`] — coordinated partitioned execution: shared trained
-//!   model, global threshold, merged (mergeable) explanation state;
-//!   reproduces the one-shot report at any partition count.
+//! * [`operator`] — the typed operator interfaces of Table 1 (Ingestor,
+//!   Transformer, Classifier, Explainer), adapters for closures, and the
+//!   batching [`CsvIngestor`](operator::CsvIngestor).
+//! * [`query`] — the unified surface: an [`MdpQuery`] (shared
+//!   [`AnalysisConfig`] + transformer chain + classifier stages) executed by
+//!   any [`Executor`] backend — one-shot, coordinated partitioned, naïve
+//!   partitioned, or streaming — over a slice or any ingestor, returning
+//!   one unified [`MdpReport`].
+//! * [`executor`] — the batch engines behind those backends, built from the
+//!   real Table 1 operators ([`MdpClassifier`], [`MdpExplainer`]).
+//! * [`streaming`] — the exponentially weighted streaming (EWS) engine and
+//!   the incremental [`StreamingSession`].
+//! * [`coordinated`] / [`parallel`] / [`oneshot`] / [`pipeline`] —
+//!   partitioning utilities plus the deprecated pre-query entry points,
+//!   kept as thin shims over the shared engines.
 //! * [`presentation`] — ranking and text rendering of explanation reports.
 //!
 //! ## Example
 //!
-//! Run the one-shot MDP over a batch of points; the planted misbehaving
-//! device produces outliers:
+//! Run the MDP over a batch of points; the planted misbehaving device
+//! produces outliers. The same query runs on any backend:
 //!
 //! ```
-//! use macrobase_core::oneshot::MdpOneShot;
+//! use macrobase_core::query::{Executor, MdpQuery};
 //! use macrobase_core::types::Point;
 //!
 //! let mut points: Vec<Point> = (0..2_000)
@@ -38,30 +41,50 @@
 //!     points[i * 100] = Point::simple(90.0, "device_13");
 //! }
 //!
-//! let report = MdpOneShot::with_defaults().run(&points).unwrap();
+//! let mut query = MdpQuery::with_defaults();
+//! let report = query.execute(&Executor::OneShot, &points).unwrap();
 //! assert!(report.num_outliers > 0);
+//!
+//! // Scale out without changing the answer.
+//! let mut query = MdpQuery::with_defaults();
+//! let scaled = query
+//!     .execute(&Executor::Coordinated { partitions: 4 }, &points)
+//!     .unwrap();
+//! assert_eq!(scaled.num_outliers, report.num_outliers);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod coordinated;
+pub mod executor;
 pub mod operator;
 pub mod oneshot;
 pub mod parallel;
 pub mod pipeline;
 pub mod presentation;
+pub mod query;
 pub mod streaming;
 pub mod types;
 
-pub use coordinated::run_coordinated;
-pub use mb_classify::Label;
-pub use parallel::{default_num_partitions, run_partitioned};
-pub use oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
-pub use pipeline::{Pipeline, PipelineBuilder};
-pub use streaming::{MdpStreaming, StreamingMdpConfig};
+pub use executor::{MdpClassifier, MdpExplainer};
+pub use mb_classify::{Classification, Label};
+pub use parallel::default_num_partitions;
+pub use query::{AnalysisConfig, EstimatorKind, Executor, MdpQuery, MdpQueryBuilder, StreamingOptions};
+pub use streaming::StreamingSession;
 pub use types::{MdpReport, Point, RenderedExplanation};
 
-/// Errors surfaced by pipeline execution.
+#[allow(deprecated)]
+pub use coordinated::run_coordinated;
+#[allow(deprecated)]
+pub use oneshot::{MdpConfig, MdpOneShot};
+#[allow(deprecated)]
+pub use parallel::run_partitioned;
+#[allow(deprecated)]
+pub use pipeline::{Pipeline, PipelineBuilder};
+#[allow(deprecated)]
+pub use streaming::{MdpStreaming, StreamingMdpConfig};
+
+/// Errors surfaced by query construction and execution.
 #[derive(Debug)]
 pub enum PipelineError {
     /// The input stream/batch was empty.
@@ -77,6 +100,21 @@ pub enum PipelineError {
     Stats(mb_stats::StatsError),
     /// Pipeline was misconfigured.
     InvalidConfiguration(String),
+    /// The query declares no classification stage (neither the unsupervised
+    /// classifier nor a supervised rule).
+    MissingClassifier,
+    /// A query feature cannot be executed faithfully by the chosen backend
+    /// (e.g. score retention on the unbounded streaming backend).
+    UnsupportedByBackend {
+        /// The query feature that does not fit the backend.
+        feature: &'static str,
+        /// The backend that rejected it.
+        backend: &'static str,
+    },
+    /// An ingestion source failed mid-stream (e.g. an I/O error while
+    /// reading a CSV file); the query fails rather than silently reporting
+    /// over truncated data.
+    Ingest(Box<dyn std::error::Error + Send + Sync>),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -89,6 +127,14 @@ impl std::fmt::Display for PipelineError {
             ),
             PipelineError::Stats(e) => write!(f, "statistics error: {e}"),
             PipelineError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+            PipelineError::MissingClassifier => write!(
+                f,
+                "query needs at least one classifier (unsupervised or rule)"
+            ),
+            PipelineError::UnsupportedByBackend { feature, backend } => {
+                write!(f, "{feature} is not supported by the {backend} backend")
+            }
+            PipelineError::Ingest(e) => write!(f, "ingestion error: {e}"),
         }
     }
 }

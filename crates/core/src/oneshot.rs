@@ -1,95 +1,37 @@
 //! One-shot MDP execution: classify a stored batch with robust estimators and
 //! explain the resulting outliers (Sections 4–5, "one-shot queries" of
 //! Section 3.2).
+//!
+//! Superseded by the unified query surface: build an [`MdpQuery`] and
+//! execute it with `Executor::OneShot`. The deprecated shims here
+//! delegate to exactly that engine, so reports are identical either way.
 
-use crate::types::{MdpReport, Point, RenderedExplanation};
-use crate::{PipelineError, Result};
-use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
-use mb_classify::Label;
-use mb_explain::batch::BatchExplainer;
-use mb_explain::encoder::AttributeEncoder;
-use mb_explain::risk_ratio::rank_explanations;
-use mb_explain::ExplanationConfig;
-use mb_stats::mad::MadEstimator;
-use mb_stats::mcd::McdEstimator;
-use mb_stats::zscore::ZScoreEstimator;
-use mb_stats::Estimator;
+pub use crate::query::EstimatorKind;
 
-/// Which robust estimator the classification stage uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EstimatorKind {
-    /// MAD for univariate queries, MCD for multivariate (the MDP default).
-    Auto,
-    /// Force MAD (univariate only).
-    Mad,
-    /// Force FastMCD.
-    Mcd,
-    /// Force the non-robust Z-score baseline (univariate only; used by the
-    /// Figure 3 comparison).
-    ZScore,
-}
+use crate::query::{AnalysisConfig, Executor, MdpQuery};
+use crate::types::{MdpReport, Point};
+use crate::Result;
 
-impl EstimatorKind {
-    /// Resolve [`Auto`] to a concrete estimator for `dim`-dimensional
-    /// metrics. This is THE selection rule — every executor (one-shot and
-    /// coordinated) dispatches through it so the modes cannot diverge.
-    ///
-    /// [`Auto`]: EstimatorKind::Auto
-    pub fn resolve(self, dim: usize) -> EstimatorKind {
-        match self {
-            EstimatorKind::Auto => {
-                if dim == 1 {
-                    EstimatorKind::Mad
-                } else {
-                    EstimatorKind::Mcd
-                }
-            }
-            concrete => concrete,
-        }
-    }
-}
+/// Configuration of a one-shot MDP query (superseded by [`AnalysisConfig`],
+/// which carries exactly the same fields).
+#[deprecated(
+    since = "0.5.0",
+    note = "use AnalysisConfig with MdpQuery + Executor::OneShot"
+)]
+pub type MdpConfig = AnalysisConfig;
 
-/// Configuration of a one-shot MDP query.
-#[derive(Debug, Clone)]
-pub struct MdpConfig {
-    /// Estimator selection.
-    pub estimator: EstimatorKind,
-    /// Score percentile above which points are outliers (paper default 0.99).
-    pub target_percentile: f64,
-    /// Explanation thresholds (support / risk ratio).
-    pub explanation: ExplanationConfig,
-    /// Optional cap on training sample size (Figure 9).
-    pub training_sample_size: Option<usize>,
-    /// Optional human-readable attribute column names for rendered output.
-    pub attribute_names: Vec<String>,
-    /// Whether to retain every point's score in the report (Figure 7 needs
-    /// this; large runs usually do not).
-    pub retain_scores: bool,
-    /// Whether to skip explanation entirely (Table 2 reports throughput both
-    /// with and without explanation).
-    pub skip_explanation: bool,
-}
-
-impl Default for MdpConfig {
-    fn default() -> Self {
-        MdpConfig {
-            estimator: EstimatorKind::Auto,
-            target_percentile: 0.99,
-            explanation: ExplanationConfig::default(),
-            training_sample_size: None,
-            attribute_names: Vec::new(),
-            retain_scores: false,
-            skip_explanation: false,
-        }
-    }
-}
-
-/// The one-shot MDP pipeline.
+/// The one-shot MDP pipeline (superseded by [`MdpQuery`] +
+/// `Executor::OneShot`).
+#[deprecated(
+    since = "0.5.0",
+    note = "use MdpQuery::execute with Executor::OneShot"
+)]
 #[derive(Debug, Clone)]
 pub struct MdpOneShot {
-    config: MdpConfig,
+    config: AnalysisConfig,
 }
 
+#[allow(deprecated)]
 impl MdpOneShot {
     /// Create a pipeline with the given configuration.
     pub fn new(config: MdpConfig) -> Self {
@@ -98,111 +40,21 @@ impl MdpOneShot {
 
     /// Create a pipeline with default (paper) parameters.
     pub fn with_defaults() -> Self {
-        Self::new(MdpConfig::default())
-    }
-
-    /// Validate that all points share one metric dimensionality; returns it.
-    pub(crate) fn check_dimensions(points: &[Point]) -> Result<usize> {
-        let first = points.first().ok_or(PipelineError::EmptyInput)?;
-        let dim = first.dimension();
-        if dim == 0 {
-            return Err(PipelineError::InvalidConfiguration(
-                "points must have at least one metric".to_string(),
-            ));
-        }
-        for p in points {
-            if p.dimension() != dim {
-                return Err(PipelineError::InconsistentDimensions {
-                    expected: dim,
-                    actual: p.dimension(),
-                });
-            }
-        }
-        Ok(dim)
-    }
-
-    fn classify_with<E: Estimator>(
-        &self,
-        estimator: E,
-        metrics: &[Vec<f64>],
-    ) -> Result<(Vec<mb_classify::Classification>, Option<f64>)> {
-        let mut classifier = BatchClassifier::new(
-            estimator,
-            BatchClassifierConfig {
-                target_percentile: self.config.target_percentile,
-                training_sample_size: self.config.training_sample_size,
-            },
-        );
-        let classifications = classifier.classify_batch(metrics)?;
-        let cutoff = classifier.threshold().map(|t| t.cutoff());
-        Ok((classifications, cutoff))
+        Self::new(AnalysisConfig::default())
     }
 
     /// Execute the query over a batch of points.
     pub fn run(&self, points: &[Point]) -> Result<MdpReport> {
-        let dim = Self::check_dimensions(points)?;
-        let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
-
-        let (classifications, cutoff) = match self.config.estimator.resolve(dim) {
-            EstimatorKind::Mad => self.classify_with(MadEstimator::new(), &metrics)?,
-            EstimatorKind::ZScore => self.classify_with(ZScoreEstimator::new(), &metrics)?,
-            EstimatorKind::Mcd => self.classify_with(McdEstimator::with_defaults(), &metrics)?,
-            EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
-        };
-
-        let num_outliers = classifications
-            .iter()
-            .filter(|c| c.label == Label::Outlier)
-            .count();
-
-        let explanations = if self.config.skip_explanation {
-            Vec::new()
-        } else {
-            // Encode attributes and split transactions by class.
-            let mut encoder = if self.config.attribute_names.is_empty() {
-                AttributeEncoder::new()
-            } else {
-                AttributeEncoder::with_column_names(self.config.attribute_names.clone())
-            };
-            let mut outlier_txns = Vec::with_capacity(num_outliers);
-            let mut inlier_txns = Vec::with_capacity(points.len() - num_outliers);
-            for (point, classification) in points.iter().zip(classifications.iter()) {
-                let items = encoder.encode_point(&point.attributes);
-                match classification.label {
-                    Label::Outlier => outlier_txns.push(items),
-                    Label::Inlier => inlier_txns.push(items),
-                }
-            }
-            let explainer = BatchExplainer::new(self.config.explanation);
-            let mut explanations = explainer.explain(&outlier_txns, &inlier_txns);
-            rank_explanations(&mut explanations);
-            explanations
-                .into_iter()
-                .map(|e| RenderedExplanation {
-                    attributes: encoder.describe(&e.items),
-                    items: e.items,
-                    stats: e.stats,
-                })
-                .collect()
-        };
-
-        Ok(MdpReport {
-            explanations,
-            num_points: points.len(),
-            num_outliers,
-            score_cutoff: cutoff,
-            scores: if self.config.retain_scores {
-                classifications.iter().map(|c| c.score).collect()
-            } else {
-                Vec::new()
-            },
-        })
+        MdpQuery::new(self.config.clone()).execute(&Executor::OneShot, points)
     }
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PipelineError;
+    use mb_explain::ExplanationConfig;
     use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
 
     fn workload_points(num_points: usize, num_devices: usize) -> (Vec<Point>, Vec<String>) {
@@ -337,5 +189,26 @@ mod tests {
         });
         let report = mdp.run(&points).unwrap();
         assert!(report.num_outliers > 0);
+    }
+
+    #[test]
+    fn shim_report_equals_query_report() {
+        // The deprecated entry point must stay byte-equal to the query API it
+        // delegates to.
+        let (points, _) = workload_points(10_000, 80);
+        let config = MdpConfig {
+            explanation: ExplanationConfig::new(0.01, 3.0),
+            attribute_names: vec!["device_id".to_string()],
+            retain_scores: true,
+            ..MdpConfig::default()
+        };
+        let shim = MdpOneShot::new(config.clone()).run(&points).unwrap();
+        let query = MdpQuery::new(config)
+            .execute(&Executor::OneShot, &points)
+            .unwrap();
+        assert_eq!(shim.num_outliers, query.num_outliers);
+        assert_eq!(shim.score_cutoff, query.score_cutoff);
+        assert_eq!(shim.scores, query.scores);
+        assert_eq!(shim.explanations, query.explanations);
     }
 }

@@ -4,17 +4,32 @@
 //! pipeline is `Ingestor → Transformer* → Classifier → Explainer`. In Rust
 //! the stages are traits over batches of [`Point`]s; the compiler rejects a
 //! pipeline that, say, feeds unlabeled points into an explainer, exactly as
-//! the paper's Java prototype does with its generics. Closure adapters are
-//! provided so quick domain-specific transforms don't require a new type.
+//! the paper's Java prototype does with its generics. The
+//! `stream<(label, Point)>` between classifier and explainer is represented
+//! as parallel slices (`&[Point]` + `&[Classification]`) so no stage has to
+//! clone or re-own the batch. Closure adapters are provided so quick
+//! domain-specific transforms don't require a new type.
+//!
+//! These traits are *driven*: the batch backends of
+//! [`crate::query::Executor`] execute queries by composing
+//! [`crate::executor::MdpClassifier`] and [`crate::executor::MdpExplainer`]
+//! through exactly these interfaces.
 
-use crate::types::{LabeledPoint, Point};
-use mb_classify::Label;
+use crate::types::Point;
+use mb_classify::{Classification, Label};
+use mb_ingest::csv::{CsvError, CsvQuery, CsvReader};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
 
 /// An ingestor produces the initial stream of points from an external source
 /// (`external data source(s) → stream<Point>`).
 pub trait Ingestor {
-    /// Produce the next batch of points; `None` when the source is exhausted.
-    fn next_batch(&mut self) -> Option<Vec<Point>>;
+    /// Produce the next batch of points; `Ok(None)` when the source is
+    /// exhausted. A mid-stream source failure is an error, so
+    /// [`MdpQuery::execute_ingest`](crate::query::MdpQuery::execute_ingest)
+    /// fails loudly instead of silently reporting over truncated data.
+    fn next_batch(&mut self) -> crate::Result<Option<Vec<Point>>>;
 }
 
 /// A transformer rewrites points without changing the stream type
@@ -27,15 +42,17 @@ pub trait Transformer {
 
 /// A classifier labels points (`stream<Point> → stream<(label, Point)>`).
 pub trait Classifier {
-    /// Classify a batch of points, returning them with scores and labels.
-    fn classify(&mut self, points: Vec<Point>) -> crate::Result<Vec<LabeledPoint>>;
+    /// Classify a batch of points, returning one scored label per point in
+    /// input order.
+    fn classify(&mut self, points: &[Point]) -> crate::Result<Vec<Classification>>;
 }
 
 /// An explainer aggregates labeled points into explanations
 /// (`stream<(label, Point)> → stream<Explanation>`).
 pub trait Explainer {
-    /// Consume a batch of labeled points.
-    fn consume(&mut self, points: &[LabeledPoint]);
+    /// Consume a batch of classified points (parallel slices, one
+    /// classification per point).
+    fn consume(&mut self, points: &[Point], classifications: &[Classification]);
     /// Produce the current explanations on demand.
     fn explanations(&mut self) -> Vec<crate::types::RenderedExplanation>;
 }
@@ -62,14 +79,14 @@ impl VecIngestor {
 }
 
 impl Ingestor for VecIngestor {
-    fn next_batch(&mut self) -> Option<Vec<Point>> {
+    fn next_batch(&mut self) -> crate::Result<Option<Vec<Point>>> {
         if self.cursor >= self.points.len() {
-            return None;
+            return Ok(None);
         }
         let end = (self.cursor + self.batch_size).min(self.points.len());
         let batch = self.points[self.cursor..end].to_vec();
         self.cursor = end;
-        Some(batch)
+        Ok(Some(batch))
     }
 }
 
@@ -123,18 +140,80 @@ impl RuleBasedClassifier {
 }
 
 impl Classifier for RuleBasedClassifier {
-    fn classify(&mut self, points: Vec<Point>) -> crate::Result<Vec<LabeledPoint>> {
+    fn classify(&mut self, points: &[Point]) -> crate::Result<Vec<Classification>> {
         Ok(points
-            .into_iter()
+            .iter()
             .map(|point| {
                 let label = self.rule.classify(&point.metrics);
-                LabeledPoint {
+                Classification {
                     score: if label == Label::Outlier { 1.0 } else { 0.0 },
                     label,
-                    point,
                 }
             })
             .collect())
+    }
+}
+
+/// A batching [`Ingestor`] over a CSV source: rows stream through
+/// [`mb_ingest::csv::CsvReader`] and surface as batches of [`Point`]s, so
+/// an MDP query can run end-to-end from a file without pre-materializing it
+/// (the first step of real ingestion on the roadmap).
+///
+/// Rows whose metric cells fail to parse are skipped and counted
+/// ([`CsvIngestor::skipped_rows`]); a mid-stream I/O failure is an error
+/// ([`PipelineError::Ingest`](crate::PipelineError::Ingest)) that fails the
+/// whole query.
+pub struct CsvIngestor<R: BufRead> {
+    reader: CsvReader<R>,
+    batch_size: usize,
+}
+
+impl CsvIngestor<BufReader<File>> {
+    /// Open a CSV file and ingest it according to `query` in batches of
+    /// `batch_size` points.
+    pub fn from_path(
+        path: impl AsRef<Path>,
+        query: &CsvQuery,
+        batch_size: usize,
+    ) -> Result<Self, CsvError> {
+        Self::new(BufReader::new(File::open(path)?), query, batch_size)
+    }
+}
+
+impl<R: BufRead> CsvIngestor<R> {
+    /// Ingest CSV text from any buffered reader according to `query` in
+    /// batches of `batch_size` points. Reads and validates the header
+    /// eagerly, so unknown columns fail here rather than mid-stream.
+    pub fn new(reader: R, query: &CsvQuery, batch_size: usize) -> Result<Self, CsvError> {
+        assert!(batch_size > 0, "batch size must be positive");
+        Ok(CsvIngestor {
+            reader: CsvReader::new(reader, query)?,
+            batch_size,
+        })
+    }
+
+    /// Number of data rows skipped so far because a metric failed to parse
+    /// or a column was missing.
+    pub fn skipped_rows(&self) -> usize {
+        self.reader.skipped_rows()
+    }
+}
+
+impl<R: BufRead> Ingestor for CsvIngestor<R> {
+    fn next_batch(&mut self) -> crate::Result<Option<Vec<Point>>> {
+        let mut batch = Vec::with_capacity(self.batch_size);
+        while batch.len() < self.batch_size {
+            match self.reader.next_record() {
+                Ok(Some(record)) => batch.push(Point::new(record.metrics, record.attributes)),
+                Ok(None) => break,
+                Err(e) => return Err(crate::PipelineError::Ingest(Box::new(e))),
+            }
+        }
+        if batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(batch))
+        }
     }
 }
 
@@ -149,13 +228,13 @@ mod tests {
         let mut ingestor = VecIngestor::new(points, 3);
         let mut total = 0;
         let mut batches = 0;
-        while let Some(batch) = ingestor.next_batch() {
+        while let Some(batch) = ingestor.next_batch().unwrap() {
             total += batch.len();
             batches += 1;
         }
         assert_eq!(total, 10);
         assert_eq!(batches, 4);
-        assert!(ingestor.next_batch().is_none());
+        assert!(ingestor.next_batch().unwrap().is_none());
     }
 
     #[test]
@@ -196,9 +275,32 @@ mod tests {
             100.0,
         ));
         let out = c
-            .classify(vec![Point::simple(150.0, "a"), Point::simple(50.0, "b")])
+            .classify(&[Point::simple(150.0, "a"), Point::simple(50.0, "b")])
             .unwrap();
         assert_eq!(out[0].label, Label::Outlier);
         assert_eq!(out[1].label, Label::Inlier);
+    }
+
+    #[test]
+    fn csv_ingestor_streams_batches_of_points() {
+        let csv = "power,device\n1.0,a\n2.0,b\nbad,c\n3.0,d\n";
+        let query = CsvQuery::new(vec!["power".to_string()], vec!["device".to_string()]);
+        let mut ingestor =
+            CsvIngestor::new(std::io::Cursor::new(csv), &query, 2).unwrap();
+        let first = ingestor.next_batch().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].metrics, vec![1.0]);
+        assert_eq!(first[1].attributes, vec!["b".to_string()]);
+        let second = ingestor.next_batch().unwrap().unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].metrics, vec![3.0]);
+        assert!(ingestor.next_batch().unwrap().is_none());
+        assert_eq!(ingestor.skipped_rows(), 1);
+    }
+
+    #[test]
+    fn csv_ingestor_rejects_unknown_columns_eagerly() {
+        let query = CsvQuery::new(vec!["nope".to_string()], vec![]);
+        assert!(CsvIngestor::new(std::io::Cursor::new("a,b\n1,2\n"), &query, 8).is_err());
     }
 }

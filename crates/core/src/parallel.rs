@@ -1,16 +1,18 @@
-//! Naïve shared-nothing partitioned execution (Appendix D, Figure 11).
+//! Naïve shared-nothing partitioned execution (Appendix D, Figure 11) and
+//! the scatter scaffold shared by both partitioned backends.
 //!
 //! The paper's preliminary scale-out strategy partitions the input across
 //! cores, runs an independent MDP query per partition, and returns the union
 //! of the per-partition explanations. Throughput scales linearly, but
 //! accuracy degrades because each partition trains on a sample of the data
 //! and explanations are not coordinated across partitions — the benchmark
-//! harness reproduces both halves of that trade-off.
+//! harness reproduces both halves of that trade-off. The engine lives in
+//! [`crate::executor`] (`Executor::NaivePartitioned`); this module keeps
+//! the partitioning utilities and the deprecated free-function entry point.
 
-use crate::oneshot::{MdpConfig, MdpOneShot};
+use crate::query::{AnalysisConfig, Executor, MdpQuery};
 use crate::types::{MdpReport, Point, RenderedExplanation};
 use crate::Result;
-use std::collections::HashMap;
 
 /// The partition count used when a caller passes `0`: one partition per
 /// worker in the shared execution pool. This respects
@@ -57,7 +59,12 @@ where
 }
 
 /// The result of a partitioned run: per-partition reports plus the unioned
-/// explanation set.
+/// explanation set (superseded by the unified [`MdpReport`], whose
+/// `partition_reports` field carries the per-partition detail).
+#[deprecated(
+    since = "0.5.0",
+    note = "use MdpQuery::execute with Executor::NaivePartitioned; per-partition detail is in MdpReport::partition_reports"
+)]
 #[derive(Debug)]
 pub struct PartitionedReport {
     /// One report per partition, in partition order.
@@ -70,67 +77,42 @@ pub struct PartitionedReport {
 }
 
 /// Execute `config` over `points` split into `num_partitions` shared-nothing
-/// partitions, each processed as an independent pool task. Pass `0` for
+/// partitions, each processed as an independent pool task (superseded by
+/// [`MdpQuery::execute`](crate::query::MdpQuery::execute) with
+/// [`Executor::NaivePartitioned`](crate::query::Executor)). Pass `0` for
 /// `num_partitions` to use one partition per available core
 /// ([`default_num_partitions`]).
+#[deprecated(
+    since = "0.5.0",
+    note = "use MdpQuery::execute with Executor::NaivePartitioned { partitions }"
+)]
+#[allow(deprecated)]
 pub fn run_partitioned(
     points: &[Point],
     num_partitions: usize,
-    config: &MdpConfig,
+    config: &AnalysisConfig,
 ) -> Result<PartitionedReport> {
-    if points.is_empty() {
-        return Err(crate::PipelineError::EmptyInput);
-    }
-    let num_partitions = resolve_num_partitions(num_partitions);
-    let chunks = partition_chunks(points, num_partitions);
-
-    // Run each partition as its own pool task (shared-nothing: each gets
-    // its own MdpOneShot and sees only its chunk).
-    let results: Vec<Result<MdpReport>> =
-        scatter(chunks, |chunk| MdpOneShot::new(config.clone()).run(chunk));
-
-    let mut partition_reports = Vec::with_capacity(results.len());
-    for r in results {
-        partition_reports.push(r?);
-    }
-
-    // Union explanations across partitions, deduplicating by the rendered
-    // attribute combination (index by combination, keep the highest risk
-    // ratio observed for it).
-    let mut merged: Vec<RenderedExplanation> = Vec::new();
-    let mut by_combination: HashMap<Vec<String>, usize> = HashMap::new();
-    for report in &partition_reports {
-        for e in &report.explanations {
-            match by_combination.get(&e.attributes) {
-                Some(&idx) => {
-                    if e.stats.risk_ratio > merged[idx].stats.risk_ratio {
-                        merged[idx].stats = e.stats.clone();
-                    }
-                }
-                None => {
-                    by_combination.insert(e.attributes.clone(), merged.len());
-                    merged.push(e.clone());
-                }
-            }
-        }
-    }
-    merged.sort_by(|a, b| {
-        b.stats
-            .risk_ratio
-            .partial_cmp(&a.stats.risk_ratio)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-
+    let report = MdpQuery::new(config.clone()).execute(
+        &Executor::NaivePartitioned {
+            partitions: num_partitions,
+        },
+        points,
+    )?;
     Ok(PartitionedReport {
-        num_points: points.len(),
-        partition_reports,
-        merged_explanations: merged,
+        num_points: report.num_points,
+        partition_reports: report
+            .partition_reports
+            .expect("naive partitioned reports always carry partition detail"),
+        merged_explanations: report.explanations,
     })
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
+    use crate::oneshot::MdpOneShot;
     use mb_explain::ExplanationConfig;
 
     fn workload(n: usize) -> Vec<Point> {
@@ -148,11 +130,11 @@ mod tests {
         points
     }
 
-    fn config() -> MdpConfig {
-        MdpConfig {
+    fn config() -> AnalysisConfig {
+        AnalysisConfig {
             explanation: ExplanationConfig::new(0.01, 3.0),
             attribute_names: vec!["device_id".to_string()],
-            ..MdpConfig::default()
+            ..AnalysisConfig::default()
         }
     }
 

@@ -1,42 +1,42 @@
 //! Custom pipeline construction (Section 3.2's extensibility story and the
 //! Section 6.4 case studies).
 //!
-//! A [`Pipeline`] is: zero or more domain-specific [`Transformer`]s, an
-//! unsupervised MDP classifier and/or a supervised rule classifier (combined
-//! with logical OR, as in the hybrid supervision case study), followed by the
-//! outlier-aware risk-ratio explainer. The builder enforces the Table 1
-//! stage order at compile time simply by only exposing the legal next steps.
+//! Superseded by [`MdpQuery::builder`](crate::query::MdpQuery::builder),
+//! which carries the same transformer chain, hybrid supervision, and
+//! rule-only options but executes on *any*
+//! [`Executor`](crate::query::Executor) backend. The deprecated [`Pipeline`]
+//! here delegates to the same shared engine, which also fixes a historic
+//! inconsistency: `Pipeline::run` used to hard-code `score_cutoff: None,
+//! scores: []` in its report, so the same configuration answered differently
+//! through `Pipeline` than through `MdpOneShot`. Both now return the
+//! identical unified report.
 
-use crate::oneshot::{EstimatorKind, MdpConfig};
+use crate::executor::execute_one_shot;
 use crate::operator::Transformer;
-use crate::types::{LabeledPoint, MdpReport, Point, RenderedExplanation};
-use crate::{PipelineError, Result};
-use mb_classify::batch::{BatchClassifier, BatchClassifierConfig};
-use mb_classify::rule::{label_or, RuleClassifier};
-use mb_classify::Label;
-use mb_explain::batch::BatchExplainer;
-use mb_explain::encoder::AttributeEncoder;
-use mb_explain::risk_ratio::rank_explanations;
-use mb_stats::mad::MadEstimator;
-use mb_stats::mcd::McdEstimator;
-use mb_stats::zscore::ZScoreEstimator;
+use crate::query::{AnalysisConfig, MdpQuery};
+use crate::types::{LabeledPoint, MdpReport, Point};
+use crate::Result;
+use mb_classify::rule::RuleClassifier;
 
-/// Builder for [`Pipeline`].
+/// Builder for [`Pipeline`] (superseded by
+/// [`MdpQueryBuilder`](crate::query::MdpQueryBuilder)).
+#[deprecated(since = "0.5.0", note = "use MdpQuery::builder")]
 #[derive(Default)]
 pub struct PipelineBuilder {
     transformers: Vec<Box<dyn Transformer>>,
-    config: MdpConfig,
+    config: AnalysisConfig,
     rule: Option<RuleClassifier>,
     unsupervised_enabled: bool,
 }
 
+#[allow(deprecated)]
 impl PipelineBuilder {
     /// Start building a pipeline with default MDP parameters and the
     /// unsupervised classifier enabled.
     pub fn new() -> Self {
         PipelineBuilder {
             transformers: Vec::new(),
-            config: MdpConfig::default(),
+            config: AnalysisConfig::default(),
             rule: None,
             unsupervised_enabled: true,
         }
@@ -50,7 +50,7 @@ impl PipelineBuilder {
 
     /// Replace the MDP configuration (percentile, explanation thresholds,
     /// estimator, attribute names).
-    pub fn mdp_config(mut self, config: MdpConfig) -> Self {
+    pub fn mdp_config(mut self, config: AnalysisConfig) -> Self {
         self.config = config;
         self
     }
@@ -70,159 +70,66 @@ impl PipelineBuilder {
 
     /// Finish building.
     pub fn build(self) -> Result<Pipeline> {
-        if !self.unsupervised_enabled && self.rule.is_none() {
-            return Err(PipelineError::InvalidConfiguration(
-                "pipeline needs at least one classifier (unsupervised or rule)".to_string(),
-            ));
+        let mut builder = MdpQuery::builder().analysis(self.config);
+        for t in self.transformers {
+            builder = builder.transform(t);
+        }
+        if let Some(rule) = self.rule {
+            builder = builder.supervised_rule(rule);
+        }
+        if !self.unsupervised_enabled {
+            builder = builder.without_unsupervised();
         }
         Ok(Pipeline {
-            transformers: self.transformers,
-            config: self.config,
-            rule: self.rule,
-            unsupervised_enabled: self.unsupervised_enabled,
+            query: builder.build()?,
         })
     }
 }
 
-/// A configured pipeline ready to execute over batches of points.
+/// A configured pipeline ready to execute over batches of points
+/// (superseded by [`MdpQuery`]).
+#[deprecated(
+    since = "0.5.0",
+    note = "use MdpQuery::execute with Executor::OneShot"
+)]
 pub struct Pipeline {
-    transformers: Vec<Box<dyn Transformer>>,
-    config: MdpConfig,
-    rule: Option<RuleClassifier>,
-    unsupervised_enabled: bool,
+    query: MdpQuery,
 }
 
+#[allow(deprecated)]
 impl Pipeline {
     /// Start building a pipeline.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder::new()
     }
 
-    fn unsupervised_classify(
-        &self,
-        metrics: &[Vec<f64>],
-    ) -> Result<Vec<mb_classify::Classification>> {
-        let dim = metrics.first().map(|m| m.len()).unwrap_or(0);
-        let batch_config = BatchClassifierConfig {
-            target_percentile: self.config.target_percentile,
-            training_sample_size: self.config.training_sample_size,
-        };
-        let classifications = match self.config.estimator {
-            EstimatorKind::Mad => {
-                BatchClassifier::new(MadEstimator::new(), batch_config).classify_batch(metrics)?
-            }
-            EstimatorKind::ZScore => BatchClassifier::new(ZScoreEstimator::new(), batch_config)
-                .classify_batch(metrics)?,
-            EstimatorKind::Mcd => BatchClassifier::new(McdEstimator::with_defaults(), batch_config)
-                .classify_batch(metrics)?,
-            EstimatorKind::Auto => {
-                if dim == 1 {
-                    BatchClassifier::new(MadEstimator::new(), batch_config)
-                        .classify_batch(metrics)?
-                } else {
-                    BatchClassifier::new(McdEstimator::with_defaults(), batch_config)
-                        .classify_batch(metrics)?
-                }
-            }
-        };
-        Ok(classifications)
-    }
-
     /// Execute the pipeline over a batch of points, returning the labeled
     /// points and the ranked explanation report.
     pub fn run(&mut self, points: Vec<Point>) -> Result<(Vec<LabeledPoint>, MdpReport)> {
-        // Stage 2: feature transformation.
         let mut transformed = points;
-        for t in self.transformers.iter_mut() {
+        for t in self.query.transformers.iter_mut() {
             transformed = t.transform(transformed);
         }
-        if transformed.is_empty() {
-            return Err(PipelineError::EmptyInput);
-        }
-        let dim = transformed[0].dimension();
-        for p in &transformed {
-            if p.dimension() != dim {
-                return Err(PipelineError::InconsistentDimensions {
-                    expected: dim,
-                    actual: p.dimension(),
-                });
-            }
-        }
-
-        // Stage 3: classification (unsupervised, rule-based, or both OR-ed).
-        let metrics: Vec<Vec<f64>> = transformed.iter().map(|p| p.metrics.clone()).collect();
-        let unsupervised = if self.unsupervised_enabled {
-            Some(self.unsupervised_classify(&metrics)?)
-        } else {
-            None
-        };
-        let labeled: Vec<LabeledPoint> = transformed
+        let (classifications, report) = execute_one_shot(self.query.parts(), &transformed)?;
+        let labeled = transformed
             .into_iter()
-            .enumerate()
-            .map(|(idx, point)| {
-                let (mut label, score) = match &unsupervised {
-                    Some(c) => (c[idx].label, c[idx].score),
-                    None => (Label::Inlier, 0.0),
-                };
-                if let Some(rule) = &self.rule {
-                    label = label_or(label, rule.classify(&point.metrics));
-                }
-                LabeledPoint {
-                    point,
-                    score,
-                    label,
-                }
+            .zip(classifications)
+            .map(|(point, c)| LabeledPoint {
+                point,
+                score: c.score,
+                label: c.label,
             })
             .collect();
-
-        // Stage 4: explanation.
-        let num_outliers = labeled.iter().filter(|p| p.label.is_outlier()).count();
-        let explanations = if self.config.skip_explanation {
-            Vec::new()
-        } else {
-            let mut encoder = if self.config.attribute_names.is_empty() {
-                AttributeEncoder::new()
-            } else {
-                AttributeEncoder::with_column_names(self.config.attribute_names.clone())
-            };
-            let mut outlier_txns = Vec::new();
-            let mut inlier_txns = Vec::new();
-            for lp in &labeled {
-                let items = encoder.encode_point(&lp.point.attributes);
-                if lp.label.is_outlier() {
-                    outlier_txns.push(items);
-                } else {
-                    inlier_txns.push(items);
-                }
-            }
-            let explainer = BatchExplainer::new(self.config.explanation);
-            let mut explanations = explainer.explain(&outlier_txns, &inlier_txns);
-            rank_explanations(&mut explanations);
-            explanations
-                .into_iter()
-                .map(|e| RenderedExplanation {
-                    attributes: encoder.describe(&e.items),
-                    items: e.items,
-                    stats: e.stats,
-                })
-                .collect()
-        };
-
-        let report = MdpReport {
-            explanations,
-            num_points: labeled.len(),
-            num_outliers,
-            score_cutoff: None,
-            scores: Vec::new(),
-        };
         Ok((labeled, report))
     }
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::operator::MapTransformer;
+    use crate::PipelineError;
     use mb_classify::rule::Comparison;
     use mb_explain::ExplanationConfig;
 
@@ -240,10 +147,7 @@ mod tests {
     #[test]
     fn builder_rejects_classifierless_pipeline() {
         let result = Pipeline::builder().without_unsupervised().build();
-        assert!(matches!(
-            result,
-            Err(PipelineError::InvalidConfiguration(_))
-        ));
+        assert!(matches!(result, Err(PipelineError::MissingClassifier)));
     }
 
     #[test]
@@ -253,10 +157,10 @@ mod tests {
             points[i * 100] = Point::new(vec![500.0], vec!["device_bad".to_string()]);
         }
         let mut pipeline = Pipeline::builder()
-            .mdp_config(MdpConfig {
+            .mdp_config(AnalysisConfig {
                 explanation: ExplanationConfig::new(0.01, 3.0),
                 attribute_names: vec!["device_id".to_string()],
-                ..MdpConfig::default()
+                ..AnalysisConfig::default()
             })
             .build()
             .unwrap();
@@ -282,9 +186,9 @@ mod tests {
                 p.metrics[0] = p.metrics[0] * p.metrics[0];
                 p
             })))
-            .mdp_config(MdpConfig {
+            .mdp_config(AnalysisConfig {
                 explanation: ExplanationConfig::new(0.01, 3.0),
-                ..MdpConfig::default()
+                ..AnalysisConfig::default()
             })
             .build()
             .unwrap();
@@ -307,9 +211,9 @@ mod tests {
         }
         let mut pipeline = Pipeline::builder()
             .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 100.0))
-            .mdp_config(MdpConfig {
+            .mdp_config(AnalysisConfig {
                 explanation: ExplanationConfig::new(0.0005, 3.0),
-                ..MdpConfig::default()
+                ..AnalysisConfig::default()
             })
             .build()
             .unwrap();
@@ -351,5 +255,31 @@ mod tests {
             pipeline.run(background_points(10)),
             Err(PipelineError::EmptyInput)
         ));
+    }
+
+    #[test]
+    fn pipeline_report_is_identical_to_one_shot() {
+        // Regression: Pipeline::run used to hard-code score_cutoff: None and
+        // scores: [] — the same configuration must now answer identically
+        // through every batch entry point.
+        #[allow(deprecated)]
+        use crate::oneshot::MdpOneShot;
+        let mut points = background_points(10_000);
+        for i in 0..100 {
+            points[i * 100] = Point::new(vec![500.0], vec!["device_bad".to_string()]);
+        }
+        let config = AnalysisConfig {
+            explanation: ExplanationConfig::new(0.01, 3.0),
+            attribute_names: vec!["device_id".to_string()],
+            retain_scores: true,
+            ..AnalysisConfig::default()
+        };
+        let one_shot = MdpOneShot::new(config.clone()).run(&points).unwrap();
+        let mut pipeline = Pipeline::builder().mdp_config(config).build().unwrap();
+        let (_, pipeline_report) = pipeline.run(points).unwrap();
+        assert_eq!(pipeline_report.num_outliers, one_shot.num_outliers);
+        assert_eq!(pipeline_report.score_cutoff, one_shot.score_cutoff);
+        assert_eq!(pipeline_report.scores, one_shot.scores);
+        assert_eq!(pipeline_report.explanations, one_shot.explanations);
     }
 }

@@ -118,6 +118,7 @@ mod tests {
             num_outliers: 100,
             score_cutoff: Some(3.2),
             scores: vec![],
+            partition_reports: None,
         }
     }
 
@@ -146,6 +147,7 @@ mod tests {
             num_outliers: 0,
             score_cutoff: None,
             scores: vec![],
+            partition_reports: None,
         };
         let text = render_report(&report, 5);
         assert!(text.contains("no explanations"));

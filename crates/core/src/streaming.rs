@@ -1,9 +1,17 @@
 //! Exponentially weighted streaming (EWS) MDP execution (Section 3.2's
 //! "streaming queries", assembled from the ADR-trained classifier of
 //! Section 4.2 and the AMC/M-CPS streaming explainer of Section 5.3).
+//!
+//! The engine behind [`Executor::Streaming`](crate::query::Executor) lives
+//! here; [`StreamingSession`] exposes it incrementally (observe points one
+//! at a time, render reports mid-stream) for adaptivity experiments and
+//! live monitoring. Build sessions with
+//! [`MdpQuery::into_streaming`](crate::query::MdpQuery::into_streaming).
 
+use crate::query::{AnalysisConfig, EstimatorKind, StreamingOptions};
 use crate::types::{MdpReport, Point, RenderedExplanation};
 use crate::Result;
+use mb_classify::rule::{label_or, RuleClassifier};
 use mb_classify::streaming::{StreamingClassifier, StreamingClassifierConfig};
 use mb_classify::Label;
 use mb_explain::encoder::AttributeEncoder;
@@ -12,8 +20,255 @@ use mb_explain::streaming::{StreamingExplainer, StreamingExplainerConfig};
 use mb_explain::ExplanationConfig;
 use mb_stats::mad::MadEstimator;
 use mb_stats::mcd::McdEstimator;
+use mb_stats::zscore::ZScoreEstimator;
 
-/// Configuration of a streaming MDP query.
+/// Dispatch between the concrete streaming classifiers, chosen from the
+/// configured estimator resolved against the first observed point's
+/// dimensionality.
+enum StreamingModel {
+    Mad(StreamingClassifier<MadEstimator>),
+    Mcd(StreamingClassifier<McdEstimator>),
+    ZScore(StreamingClassifier<ZScoreEstimator>),
+}
+
+/// The streaming (EWS) engine: ADR-trained classifier, AMC + M-CPS
+/// explainer, per-point decay bookkeeping. Shared by the streaming executor
+/// backend, [`StreamingSession`], and the deprecated [`MdpStreaming`] shim.
+pub(crate) struct StreamingEngine {
+    estimator: EstimatorKind,
+    target_percentile: f64,
+    reservoir_size: usize,
+    decay_rate: f64,
+    decay_period: u64,
+    retrain_period: u64,
+    seed: u64,
+    skip_explanation: bool,
+    rule: Option<RuleClassifier>,
+    unsupervised: bool,
+    model: Option<StreamingModel>,
+    explainer: StreamingExplainer,
+    encoder: AttributeEncoder,
+    points_seen: u64,
+    outliers_seen: u64,
+    points_since_decay: u64,
+}
+
+impl StreamingEngine {
+    pub(crate) fn new(
+        analysis: &AnalysisConfig,
+        options: &StreamingOptions,
+        rule: Option<RuleClassifier>,
+        unsupervised: bool,
+    ) -> Self {
+        let explainer = StreamingExplainer::new(StreamingExplainerConfig {
+            explanation: analysis.explanation,
+            decay_rate: options.decay_rate,
+            amc_stable_size: options.reservoir_size,
+            amc_maintenance_period: options.reservoir_size as u64,
+        });
+        let encoder = crate::executor::encoder_for(analysis);
+        StreamingEngine {
+            estimator: analysis.estimator,
+            target_percentile: analysis.target_percentile,
+            reservoir_size: options.reservoir_size,
+            decay_rate: options.decay_rate,
+            decay_period: options.decay_period,
+            retrain_period: options.retrain_period,
+            seed: options.seed,
+            skip_explanation: analysis.skip_explanation,
+            rule,
+            unsupervised,
+            model: None,
+            explainer,
+            encoder,
+            points_seen: 0,
+            outliers_seen: 0,
+            points_since_decay: 0,
+        }
+    }
+
+    fn classifier_config(&self) -> StreamingClassifierConfig {
+        StreamingClassifierConfig {
+            input_reservoir_size: self.reservoir_size,
+            score_reservoir_size: self.reservoir_size,
+            decay_rate: self.decay_rate,
+            retrain_period: self.retrain_period,
+            target_percentile: self.target_percentile,
+            threshold_refresh_period: (self.retrain_period / 10).max(1),
+            warmup_points: 100,
+            seed: self.seed,
+        }
+    }
+
+    pub(crate) fn observe(&mut self, point: &Point) -> Result<Label> {
+        self.points_seen += 1;
+        self.points_since_decay += 1;
+
+        let mut label = Label::Inlier;
+        if self.unsupervised {
+            if self.model.is_none() {
+                let config = self.classifier_config();
+                self.model = Some(match self.estimator.resolve(point.dimension()) {
+                    EstimatorKind::Mad => {
+                        StreamingModel::Mad(StreamingClassifier::new(MadEstimator::new(), config)?)
+                    }
+                    EstimatorKind::Mcd => StreamingModel::Mcd(StreamingClassifier::new(
+                        McdEstimator::with_defaults(),
+                        config,
+                    )?),
+                    EstimatorKind::ZScore => StreamingModel::ZScore(StreamingClassifier::new(
+                        ZScoreEstimator::new(),
+                        config,
+                    )?),
+                    EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
+                });
+            }
+            label = match self.model.as_mut().expect("model initialized above") {
+                StreamingModel::Mad(c) => c.observe(&point.metrics),
+                StreamingModel::Mcd(c) => c.observe(&point.metrics),
+                StreamingModel::ZScore(c) => c.observe(&point.metrics),
+            }
+            .label;
+        }
+        if let Some(rule) = &self.rule {
+            label = label_or(label, rule.classify(&point.metrics));
+        }
+        if label == Label::Outlier {
+            self.outliers_seen += 1;
+        }
+
+        if !self.skip_explanation {
+            let items = self.encoder.encode_point(&point.attributes);
+            self.explainer.observe(&items, label == Label::Outlier);
+        }
+
+        if self.points_since_decay >= self.decay_period {
+            self.points_since_decay = 0;
+            self.on_period_boundary();
+        }
+        Ok(label)
+    }
+
+    pub(crate) fn on_period_boundary(&mut self) {
+        if let Some(model) = self.model.as_mut() {
+            match model {
+                StreamingModel::Mad(c) => c.on_period_boundary(),
+                StreamingModel::Mcd(c) => c.on_period_boundary(),
+                StreamingModel::ZScore(c) => c.on_period_boundary(),
+            }
+        }
+        if !self.skip_explanation {
+            self.explainer.on_window_boundary();
+        }
+    }
+
+    pub(crate) fn points_seen(&self) -> u64 {
+        self.points_seen
+    }
+
+    pub(crate) fn outliers_seen(&self) -> u64 {
+        self.outliers_seen
+    }
+
+    pub(crate) fn is_trained(&self) -> bool {
+        if !self.unsupervised {
+            return true;
+        }
+        match &self.model {
+            Some(StreamingModel::Mad(c)) => c.is_trained(),
+            Some(StreamingModel::Mcd(c)) => c.is_trained(),
+            Some(StreamingModel::ZScore(c)) => c.is_trained(),
+            None => false,
+        }
+    }
+
+    pub(crate) fn report(&mut self) -> MdpReport {
+        let explanations = if self.skip_explanation {
+            Vec::new()
+        } else {
+            let mut explanations = self.explainer.explain();
+            rank_explanations(&mut explanations);
+            explanations
+                .into_iter()
+                .map(|e| RenderedExplanation {
+                    attributes: self.encoder.describe(&e.items),
+                    items: e.items,
+                    stats: e.stats,
+                })
+                .collect()
+        };
+        let cutoff = match self.model.as_mut() {
+            Some(StreamingModel::Mad(c)) => c.current_cutoff(),
+            Some(StreamingModel::Mcd(c)) => c.current_cutoff(),
+            Some(StreamingModel::ZScore(c)) => c.current_cutoff(),
+            None => None,
+        };
+        MdpReport {
+            explanations,
+            num_points: self.points_seen as usize,
+            num_outliers: self.outliers_seen as usize,
+            score_cutoff: cutoff,
+            scores: Vec::new(),
+            partition_reports: None,
+        }
+    }
+}
+
+/// An incremental streaming execution of an
+/// [`MdpQuery`](crate::query::MdpQuery): observe points one at a time,
+/// force decay boundaries, and render reports mid-stream (the continuously
+/// maintained view of Section 5.3). Obtain one with
+/// [`MdpQuery::into_streaming`](crate::query::MdpQuery::into_streaming);
+/// for run-to-completion streaming over an ingestor use
+/// [`Executor::Streaming`](crate::query::Executor) instead.
+pub struct StreamingSession {
+    engine: StreamingEngine,
+}
+
+impl StreamingSession {
+    pub(crate) fn new(engine: StreamingEngine) -> Self {
+        StreamingSession { engine }
+    }
+
+    /// Observe one point, returning its label.
+    pub fn observe(&mut self, point: &Point) -> Result<Label> {
+        self.engine.observe(point)
+    }
+
+    /// Force a decay period boundary (also triggered automatically every
+    /// `decay_period` points).
+    pub fn on_period_boundary(&mut self) {
+        self.engine.on_period_boundary()
+    }
+
+    /// Total points observed so far.
+    pub fn points_seen(&self) -> u64 {
+        self.engine.points_seen()
+    }
+
+    /// Total points labeled outlier so far.
+    pub fn outliers_seen(&self) -> u64 {
+        self.engine.outliers_seen()
+    }
+
+    /// Whether the underlying model has completed its warm-up training
+    /// (always true for rule-only queries).
+    pub fn is_trained(&self) -> bool {
+        self.engine.is_trained()
+    }
+
+    /// Render the current explanations and counters as a report.
+    pub fn report(&mut self) -> MdpReport {
+        self.engine.report()
+    }
+}
+
+/// Configuration of a streaming MDP query (superseded by
+/// [`AnalysisConfig`] + [`StreamingOptions`]).
+#[deprecated(
+    since = "0.5.0",
+    note = "use AnalysisConfig + StreamingOptions with MdpQuery and Executor::Streaming"
+)]
 #[derive(Debug, Clone)]
 pub struct StreamingMdpConfig {
     /// Score percentile above which points are outliers.
@@ -37,6 +292,7 @@ pub struct StreamingMdpConfig {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for StreamingMdpConfig {
     fn default() -> Self {
         StreamingMdpConfig {
@@ -53,46 +309,45 @@ impl Default for StreamingMdpConfig {
     }
 }
 
-/// Dispatch between the univariate (MAD) and multivariate (MCD) streaming
-/// classifiers, chosen from the first observed point's dimensionality.
-enum StreamingModel {
-    Univariate(StreamingClassifier<MadEstimator>),
-    Multivariate(StreamingClassifier<McdEstimator>),
+#[allow(deprecated)]
+impl StreamingMdpConfig {
+    fn split(&self) -> (AnalysisConfig, StreamingOptions) {
+        (
+            AnalysisConfig {
+                target_percentile: self.target_percentile,
+                explanation: self.explanation,
+                attribute_names: self.attribute_names.clone(),
+                skip_explanation: self.skip_explanation,
+                ..AnalysisConfig::default()
+            },
+            StreamingOptions {
+                reservoir_size: self.reservoir_size,
+                decay_rate: self.decay_rate,
+                decay_period: self.decay_period,
+                retrain_period: self.retrain_period,
+                seed: self.seed,
+            },
+        )
+    }
 }
 
-/// The streaming (EWS) MDP pipeline.
+/// The streaming (EWS) MDP pipeline (superseded by [`StreamingSession`] /
+/// [`Executor::Streaming`](crate::query::Executor)).
+#[deprecated(
+    since = "0.5.0",
+    note = "use MdpQuery::into_streaming (incremental) or Executor::Streaming (run-to-completion)"
+)]
 pub struct MdpStreaming {
-    config: StreamingMdpConfig,
-    model: Option<StreamingModel>,
-    explainer: StreamingExplainer,
-    encoder: AttributeEncoder,
-    points_seen: u64,
-    outliers_seen: u64,
-    points_since_decay: u64,
+    engine: StreamingEngine,
 }
 
+#[allow(deprecated)]
 impl MdpStreaming {
     /// Create a streaming pipeline.
     pub fn new(config: StreamingMdpConfig) -> Self {
-        let explainer = StreamingExplainer::new(StreamingExplainerConfig {
-            explanation: config.explanation,
-            decay_rate: config.decay_rate,
-            amc_stable_size: config.reservoir_size,
-            amc_maintenance_period: config.reservoir_size as u64,
-        });
-        let encoder = if config.attribute_names.is_empty() {
-            AttributeEncoder::new()
-        } else {
-            AttributeEncoder::with_column_names(config.attribute_names.clone())
-        };
+        let (analysis, options) = config.split();
         MdpStreaming {
-            config,
-            model: None,
-            explainer,
-            encoder,
-            points_seen: 0,
-            outliers_seen: 0,
-            points_since_decay: 0,
+            engine: StreamingEngine::new(&analysis, &options, None, true),
         }
     }
 
@@ -101,136 +356,59 @@ impl MdpStreaming {
         Self::new(StreamingMdpConfig::default())
     }
 
-    fn classifier_config(&self) -> StreamingClassifierConfig {
-        StreamingClassifierConfig {
-            input_reservoir_size: self.config.reservoir_size,
-            score_reservoir_size: self.config.reservoir_size,
-            decay_rate: self.config.decay_rate,
-            retrain_period: self.config.retrain_period,
-            target_percentile: self.config.target_percentile,
-            threshold_refresh_period: (self.config.retrain_period / 10).max(1),
-            warmup_points: 100,
-            seed: self.config.seed,
-        }
-    }
-
     /// Observe one point, returning its label.
     pub fn observe(&mut self, point: &Point) -> Result<Label> {
-        self.points_seen += 1;
-        self.points_since_decay += 1;
-
-        if self.model.is_none() {
-            let config = self.classifier_config();
-            self.model = Some(if point.dimension() == 1 {
-                StreamingModel::Univariate(StreamingClassifier::new(MadEstimator::new(), config)?)
-            } else {
-                StreamingModel::Multivariate(StreamingClassifier::new(
-                    McdEstimator::with_defaults(),
-                    config,
-                )?)
-            });
-        }
-        let classification = match self.model.as_mut().expect("model initialized above") {
-            StreamingModel::Univariate(c) => c.observe(&point.metrics),
-            StreamingModel::Multivariate(c) => c.observe(&point.metrics),
-        };
-        if classification.label == Label::Outlier {
-            self.outliers_seen += 1;
-        }
-
-        if !self.config.skip_explanation {
-            let items = self.encoder.encode_point(&point.attributes);
-            self.explainer
-                .observe(&items, classification.label == Label::Outlier);
-        }
-
-        if self.points_since_decay >= self.config.decay_period {
-            self.points_since_decay = 0;
-            self.on_period_boundary();
-        }
-        Ok(classification.label)
+        self.engine.observe(point)
     }
 
     /// Force a decay period boundary (also called automatically every
     /// `decay_period` points).
     pub fn on_period_boundary(&mut self) {
-        if let Some(model) = self.model.as_mut() {
-            match model {
-                StreamingModel::Univariate(c) => c.on_period_boundary(),
-                StreamingModel::Multivariate(c) => c.on_period_boundary(),
-            }
-        }
-        if !self.config.skip_explanation {
-            self.explainer.on_window_boundary();
-        }
+        self.engine.on_period_boundary()
     }
 
     /// Total points observed so far.
     pub fn points_seen(&self) -> u64 {
-        self.points_seen
+        self.engine.points_seen()
     }
 
     /// Total points labeled outlier so far.
     pub fn outliers_seen(&self) -> u64 {
-        self.outliers_seen
+        self.engine.outliers_seen()
     }
 
     /// Whether the underlying model has completed its warm-up training.
     pub fn is_trained(&self) -> bool {
-        match &self.model {
-            Some(StreamingModel::Univariate(c)) => c.is_trained(),
-            Some(StreamingModel::Multivariate(c)) => c.is_trained(),
-            None => false,
-        }
+        self.engine.is_trained()
     }
 
     /// Produce the current explanations on demand (the streaming explainer is
     /// a continuously maintained view; this renders it).
     pub fn report(&mut self) -> MdpReport {
-        let explanations = if self.config.skip_explanation {
-            Vec::new()
-        } else {
-            let mut explanations = self.explainer.explain();
-            rank_explanations(&mut explanations);
-            explanations
-                .into_iter()
-                .map(|e| RenderedExplanation {
-                    attributes: self.encoder.describe(&e.items),
-                    items: e.items,
-                    stats: e.stats,
-                })
-                .collect()
-        };
-        let cutoff = match self.model.as_mut() {
-            Some(StreamingModel::Univariate(c)) => c.current_cutoff(),
-            Some(StreamingModel::Multivariate(c)) => c.current_cutoff(),
-            None => None,
-        };
-        MdpReport {
-            explanations,
-            num_points: self.points_seen as usize,
-            num_outliers: self.outliers_seen as usize,
-            score_cutoff: cutoff,
-            scores: Vec::new(),
-        }
+        self.engine.report()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{Executor, MdpQuery, MdpQueryBuilder};
     use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
 
-    fn test_config() -> StreamingMdpConfig {
-        StreamingMdpConfig {
-            explanation: ExplanationConfig::new(0.01, 3.0),
+    fn test_options() -> StreamingOptions {
+        StreamingOptions {
             reservoir_size: 2_000,
             decay_rate: 0.05,
             decay_period: 10_000,
             retrain_period: 5_000,
-            attribute_names: vec!["device_id".to_string()],
-            ..StreamingMdpConfig::default()
+            ..StreamingOptions::default()
         }
+    }
+
+    fn test_query() -> MdpQueryBuilder {
+        MdpQuery::builder()
+            .explanation(ExplanationConfig::new(0.01, 3.0))
+            .attribute_names(vec!["device_id".to_string()])
     }
 
     #[test]
@@ -241,14 +419,18 @@ mod tests {
             outlying_device_fraction: 0.01,
             ..DeviceWorkloadConfig::default()
         });
-        let mut mdp = MdpStreaming::new(test_config());
+        let mut session = test_query()
+            .build()
+            .unwrap()
+            .into_streaming(&test_options())
+            .unwrap();
         for r in &workload.records {
             let point = Point::new(r.record.metrics.clone(), r.record.attributes.clone());
-            mdp.observe(&point).unwrap();
+            session.observe(&point).unwrap();
         }
-        assert!(mdp.is_trained());
-        assert!(mdp.outliers_seen() > 0);
-        let report = mdp.report();
+        assert!(session.is_trained());
+        assert!(session.outliers_seen() > 0);
+        let report = session.report();
         let reported: Vec<String> = report
             .explanations
             .iter()
@@ -264,8 +446,10 @@ mod tests {
 
     #[test]
     fn report_before_any_points_is_empty() {
-        let mut mdp = MdpStreaming::with_defaults();
-        let report = mdp.report();
+        let mut session = MdpQuery::with_defaults()
+            .into_streaming(&StreamingOptions::default())
+            .unwrap();
+        let report = session.report();
         assert_eq!(report.num_points, 0);
         assert!(report.explanations.is_empty());
         assert!(report.score_cutoff.is_none());
@@ -273,15 +457,25 @@ mod tests {
 
     #[test]
     fn skip_explanation_mode_reports_counts_only() {
-        let mut config = test_config();
-        config.skip_explanation = true;
-        let mut mdp = MdpStreaming::new(config);
-        for i in 0..20_000 {
-            let value = if i % 1_000 == 0 { 500.0 } else { 10.0 + (i % 7) as f64 };
-            mdp.observe(&Point::simple(value, format!("d{}", i % 100)))
-                .unwrap();
-        }
-        let report = mdp.report();
+        let mut query = test_query().skip_explanation().build().unwrap();
+        let points: Vec<Point> = (0..20_000)
+            .map(|i| {
+                let value = if i % 1_000 == 0 {
+                    500.0
+                } else {
+                    10.0 + (i % 7) as f64
+                };
+                Point::simple(value, format!("d{}", i % 100))
+            })
+            .collect();
+        let report = query
+            .execute(
+                &Executor::Streaming {
+                    options: test_options(),
+                },
+                &points,
+            )
+            .unwrap();
         assert!(report.explanations.is_empty());
         assert!(report.num_outliers > 0);
         assert_eq!(report.num_points, 20_000);
@@ -289,19 +483,23 @@ mod tests {
 
     #[test]
     fn multivariate_streaming_dispatches_to_mcd() {
-        let mut config = test_config();
-        config.reservoir_size = 500;
-        let mut mdp = MdpStreaming::new(config);
+        let mut options = test_options();
+        options.reservoir_size = 500;
+        let mut session = test_query()
+            .build()
+            .unwrap()
+            .into_streaming(&options)
+            .unwrap();
         for i in 0..5_000 {
             let point = Point::new(
                 vec![10.0 + (i % 5) as f64 * 0.1, 20.0 + (i % 3) as f64 * 0.1],
                 vec![format!("host_{}", i % 10)],
             );
-            mdp.observe(&point).unwrap();
+            session.observe(&point).unwrap();
         }
-        assert!(mdp.is_trained());
+        assert!(session.is_trained());
         // An extreme multivariate point is flagged.
-        let label = mdp
+        let label = session
             .observe(&Point::new(
                 vec![500.0, 500.0],
                 vec!["host_bad".to_string()],
@@ -312,10 +510,14 @@ mod tests {
 
     #[test]
     fn explanations_favor_recent_behaviour_under_decay() {
-        let mut config = test_config();
-        config.decay_rate = 0.5;
-        config.decay_period = 5_000;
-        let mut mdp = MdpStreaming::new(config);
+        let mut options = test_options();
+        options.decay_rate = 0.5;
+        options.decay_period = 5_000;
+        let mut session = test_query()
+            .build()
+            .unwrap()
+            .into_streaming(&options)
+            .unwrap();
         // Phase 1: device_old misbehaves.
         for i in 0..20_000 {
             let (value, device) = if i % 100 == 0 {
@@ -323,7 +525,7 @@ mod tests {
             } else {
                 (10.0 + (i % 7) as f64 * 0.1, format!("d{}", i % 50))
             };
-            mdp.observe(&Point::simple(value, device)).unwrap();
+            session.observe(&Point::simple(value, device)).unwrap();
         }
         // Phase 2: device_new misbehaves instead, for much longer.
         for i in 0..40_000 {
@@ -332,9 +534,9 @@ mod tests {
             } else {
                 (10.0 + (i % 7) as f64 * 0.1, format!("d{}", i % 50))
             };
-            mdp.observe(&Point::simple(value, device)).unwrap();
+            session.observe(&Point::simple(value, device)).unwrap();
         }
-        let report = mdp.report();
+        let report = session.report();
         let count_for = |needle: &str| {
             report
                 .explanations
@@ -347,5 +549,54 @@ mod tests {
             count_for("device_new") > count_for("device_old"),
             "decay should favor the recent offender: {report:?}"
         );
+    }
+
+    #[test]
+    fn rule_ored_into_streaming_labels() {
+        // A value far below the distribution is invisible to the MAD-percentile
+        // classifier's upper tail but must be flagged by the rule.
+        use mb_classify::rule::{Comparison, RuleClassifier};
+        let mut session = test_query()
+            .supervised_rule(RuleClassifier::single(0, Comparison::LessThan, 0.0))
+            .build()
+            .unwrap()
+            .into_streaming(&test_options())
+            .unwrap();
+        for i in 0..2_000 {
+            session
+                .observe(&Point::simple(10.0 + (i % 7) as f64, "ok"))
+                .unwrap();
+        }
+        let label = session.observe(&Point::simple(-5.0, "neg")).unwrap();
+        assert_eq!(label, Label::Outlier);
+    }
+
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_shim_matches_session_behaviour() {
+        let config = StreamingMdpConfig {
+            explanation: ExplanationConfig::new(0.01, 3.0),
+            reservoir_size: 2_000,
+            decay_rate: 0.05,
+            decay_period: 10_000,
+            retrain_period: 5_000,
+            attribute_names: vec!["device_id".to_string()],
+            ..StreamingMdpConfig::default()
+        };
+        let mut shim = MdpStreaming::new(config);
+        let mut session = test_query()
+            .build()
+            .unwrap()
+            .into_streaming(&test_options())
+            .unwrap();
+        for i in 0..20_000 {
+            let value = if i % 500 == 0 { 300.0 } else { 10.0 + (i % 9) as f64 };
+            let point = Point::simple(value, format!("d{}", i % 30));
+            shim.observe(&point).unwrap();
+            session.observe(&point).unwrap();
+        }
+        assert_eq!(shim.points_seen(), session.points_seen());
+        assert_eq!(shim.outliers_seen(), session.outliers_seen());
+        assert_eq!(shim.report().num_outliers, session.report().num_outliers);
     }
 }

@@ -77,7 +77,14 @@ pub struct MdpReport {
     pub score_cutoff: Option<f64>,
     /// Outlier scores of every processed point, in input order, when score
     /// retention is enabled (used for the Figure 7 CDF; empty otherwise).
+    /// The naïve partitioned backend concatenates partition scores in input
+    /// order.
     pub scores: Vec<f64>,
+    /// Per-partition detail, populated only by the naïve partitioned
+    /// backend: one full report per shared-nothing partition, in partition
+    /// order (each with its own local score cutoff). `None` for the
+    /// single-model backends, whose report is already global.
+    pub partition_reports: Option<Vec<MdpReport>>,
 }
 
 impl MdpReport {
@@ -121,6 +128,7 @@ mod tests {
             num_outliers: 2,
             score_cutoff: Some(3.0),
             scores: vec![],
+            partition_reports: None,
         };
         assert!((report.outlier_fraction() - 0.01).abs() < 1e-12);
         let empty = MdpReport {
@@ -129,6 +137,7 @@ mod tests {
             num_outliers: 0,
             score_cutoff: None,
             scores: vec![],
+            partition_reports: None,
         };
         assert_eq!(empty.outlier_fraction(), 0.0);
     }

@@ -3,8 +3,7 @@
 //! micro-benchmark form).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
-use macrobase_core::streaming::{MdpStreaming, StreamingMdpConfig};
+use macrobase_core::query::{Executor, MdpQuery, StreamingOptions};
 use macrobase_core::types::Point;
 use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
 
@@ -29,34 +28,36 @@ fn mdp_end_to_end(c: &mut Criterion) {
     group.throughput(Throughput::Elements(points.len() as u64));
     group.bench_function("one_shot_with_explanation", |b| {
         b.iter(|| {
-            MdpOneShot::new(MdpConfig::default())
-                .run(&points)
+            MdpQuery::with_defaults()
+                .execute(&Executor::OneShot, &points)
                 .expect("run failed")
                 .num_outliers
         })
     });
     group.bench_function("one_shot_without_explanation", |b| {
         b.iter(|| {
-            MdpOneShot::new(MdpConfig {
-                skip_explanation: true,
-                ..MdpConfig::default()
-            })
-            .run(&points)
-            .expect("run failed")
-            .num_outliers
+            MdpQuery::builder()
+                .skip_explanation()
+                .build()
+                .expect("query construction failed")
+                .execute(&Executor::OneShot, &points)
+                .expect("run failed")
+                .num_outliers
         })
     });
     group.bench_function("streaming_ews", |b| {
         b.iter(|| {
-            let mut mdp = MdpStreaming::new(StreamingMdpConfig {
-                reservoir_size: 5_000,
-                retrain_period: 20_000,
-                ..StreamingMdpConfig::default()
-            });
+            let mut session = MdpQuery::with_defaults()
+                .into_streaming(&StreamingOptions {
+                    reservoir_size: 5_000,
+                    retrain_period: 20_000,
+                    ..StreamingOptions::default()
+                })
+                .expect("streaming session failed");
             for p in &points {
-                mdp.observe(p).expect("observe failed");
+                session.observe(p).expect("observe failed");
             }
-            mdp.outliers_seen()
+            session.outliers_seen()
         })
     });
     group.finish();

@@ -14,9 +14,7 @@
 //! invoked, so on a small machine wall-clock "speedup" flattens while the
 //! accuracy half of the figure reproduces fully.
 
-use macrobase_core::coordinated::run_coordinated;
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
-use macrobase_core::parallel::run_partitioned;
+use macrobase_core::query::{AnalysisConfig, Executor, MdpQuery};
 use macrobase_core::types::RenderedExplanation;
 use mb_bench::{
     arg_usize, configure_threads_from_args, emit_json, records_to_points, throughput, timed,
@@ -137,15 +135,18 @@ fn main() {
     let records: Vec<mb_ingest::Record> =
         workload.records.iter().map(|r| r.record.clone()).collect();
     let points = records_to_points(&records);
-    let config = MdpConfig {
+    let config = AnalysisConfig {
         explanation: ExplanationConfig::new(0.001, 3.0),
         attribute_names: vec!["device_id".to_string()],
-        ..MdpConfig::default()
+        ..AnalysisConfig::default()
     };
 
     // One-shot reference: the semantics both modes are measured against.
-    let (reference, reference_seconds) =
-        timed(|| MdpOneShot::new(config.clone()).run(&points).expect("one-shot failed"));
+    let (reference, reference_seconds) = timed(|| {
+        MdpQuery::new(config.clone())
+            .execute(&Executor::OneShot, &points)
+            .expect("one-shot failed")
+    });
     let reference_set = combination_set(&reference.explanations);
 
     println!(
@@ -165,14 +166,19 @@ fn main() {
     );
     let mut baseline_seconds = None;
     for &partitions in &[1usize, 2, 4, 8, 16, 32, 48] {
-        let (naive, naive_seconds) =
-            timed(|| run_partitioned(&points, partitions, &config).expect("naive run failed"));
+        let (naive, naive_seconds) = timed(|| {
+            MdpQuery::new(config.clone())
+                .execute(&Executor::NaivePartitioned { partitions }, &points)
+                .expect("naive run failed")
+        });
         let (coordinated, coordinated_seconds) = timed(|| {
-            run_coordinated(&points, partitions, &config).expect("coordinated run failed")
+            MdpQuery::new(config.clone())
+                .execute(&Executor::Coordinated { partitions }, &points)
+                .expect("coordinated run failed")
         });
         let baseline = *baseline_seconds.get_or_insert(naive_seconds);
         for (mode, explanations, seconds) in [
-            ("naive", &naive.merged_explanations, naive_seconds),
+            ("naive", &naive.explanations, naive_seconds),
             ("coordinated", &coordinated.explanations, coordinated_seconds),
         ] {
             let normalized = baseline / seconds;

@@ -8,7 +8,7 @@
 //! mass (label noise makes more readings anomalous), so the risk-ratio filter
 //! is what determines explanation quality.
 
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use macrobase_core::query::{Executor, MdpQuery};
 use mb_bench::{arg_usize, emit_json, records_to_points};
 use mb_explain::ExplanationConfig;
 use mb_ingest::synthetic::{device_f1_score, device_workload, DeviceWorkloadConfig};
@@ -29,13 +29,13 @@ fn run_one(num_devices: usize, num_points: usize, label_noise: f64, measurement_
         + (1.0 - label_noise) * outlying_fraction
         + 0.5 * measurement_noise)
         .clamp(outlying_fraction, 0.6);
-    let mdp = MdpOneShot::new(MdpConfig {
-        target_percentile: 1.0 - anomalous_mass,
-        explanation: ExplanationConfig::new(0.001, 3.0),
-        attribute_names: vec!["device_id".to_string()],
-        ..MdpConfig::default()
-    });
-    let report = match mdp.run(&points) {
+    let mut query = MdpQuery::builder()
+        .target_percentile(1.0 - anomalous_mass)
+        .explanation(ExplanationConfig::new(0.001, 3.0))
+        .attribute_names(vec!["device_id".to_string()])
+        .build()
+        .expect("query construction failed");
+    let report = match query.execute(&Executor::OneShot, &points) {
         Ok(r) => r,
         Err(_) => return 0.0,
     };

@@ -4,7 +4,7 @@
 //! prints selected CDF points, showing the long upper tail the paper
 //! describes (the 99th-percentile scores are extreme relative to the bulk).
 
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use macrobase_core::query::{Executor, MdpQuery};
 use mb_bench::{arg_usize, emit_json, records_to_points};
 use mb_ingest::datasets::{generate_dataset, simple_query_view, DatasetId, DatasetScale};
 
@@ -18,12 +18,12 @@ fn main() {
     for id in DatasetId::all() {
         let dataset = generate_dataset(id, DatasetScale { divisor }, 7);
         let points = records_to_points(&simple_query_view(&dataset));
-        let mdp = MdpOneShot::new(MdpConfig {
-            retain_scores: true,
-            skip_explanation: true,
-            ..MdpConfig::default()
-        });
-        let report = match mdp.run(&points) {
+        let mut query = MdpQuery::builder()
+            .retain_scores()
+            .skip_explanation()
+            .build()
+            .expect("query construction failed");
+        let report = match query.execute(&Executor::OneShot, &points) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{}: failed: {e}", id.name());

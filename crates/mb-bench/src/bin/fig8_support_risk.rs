@@ -2,17 +2,18 @@
 //! time as the minimum support and minimum risk ratio are varied, on the
 //! MC- and EC-like complex queries.
 
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use macrobase_core::query::{Executor, MdpQuery};
 use mb_bench::{arg_usize, emit_json, records_to_points, timed};
 use mb_explain::ExplanationConfig;
 use mb_ingest::datasets::{generate_dataset, DatasetId, DatasetScale};
 
 fn run(points: &[macrobase_core::types::Point], support: f64, risk: f64) -> (usize, f64) {
-    let mdp = MdpOneShot::new(MdpConfig {
-        explanation: ExplanationConfig::new(support, risk).with_max_combination_size(3),
-        ..MdpConfig::default()
-    });
-    let (report, seconds) = timed(|| mdp.run(points).expect("query failed"));
+    let mut query = MdpQuery::builder()
+        .explanation(ExplanationConfig::new(support, risk).with_max_combination_size(3))
+        .build()
+        .expect("query construction failed");
+    let (report, seconds) =
+        timed(|| query.execute(&Executor::OneShot, points).expect("query failed"));
     (report.explanations.len(), seconds)
 }
 

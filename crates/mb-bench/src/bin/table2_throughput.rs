@@ -2,8 +2,7 @@
 //! streaming (EWS) explanation similarity across the six dataset queries
 //! (simple `XS` and complex `XC` variants of each).
 
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
-use macrobase_core::streaming::{MdpStreaming, StreamingMdpConfig};
+use macrobase_core::query::{Executor, MdpQuery, MdpQueryBuilder, StreamingOptions};
 use macrobase_core::types::Point;
 use mb_bench::{
     arg_usize, configure_threads_from_args, emit_json, human_count, records_to_points, throughput,
@@ -32,39 +31,53 @@ struct QueryResult {
 }
 
 fn run_query(points: &[Point], explanation: ExplanationConfig) -> QueryResult {
-    // One-shot, without and with explanation.
-    let no_explain = MdpOneShot::new(MdpConfig {
-        explanation,
-        skip_explanation: true,
-        ..MdpConfig::default()
-    });
-    let (_, oneshot_no_explain_s) = timed(|| no_explain.run(points).expect("one-shot failed"));
-    let with_explain = MdpOneShot::new(MdpConfig {
-        explanation,
-        ..MdpConfig::default()
-    });
-    let (oneshot_report, oneshot_with_explain_s) =
-        timed(|| with_explain.run(points).expect("one-shot failed"));
+    let query = |skip: bool| -> MdpQueryBuilder {
+        let builder = MdpQuery::builder().explanation(explanation);
+        if skip {
+            builder.skip_explanation()
+        } else {
+            builder
+        }
+    };
 
-    // Streaming (EWS), without and with explanation.
-    let streaming_config = StreamingMdpConfig {
-        explanation,
+    // One-shot, without and with explanation.
+    let mut no_explain = query(true).build().expect("query construction failed");
+    let (_, oneshot_no_explain_s) = timed(|| {
+        no_explain
+            .execute(&Executor::OneShot, points)
+            .expect("one-shot failed")
+    });
+    let mut with_explain = query(false).build().expect("query construction failed");
+    let (oneshot_report, oneshot_with_explain_s) = timed(|| {
+        with_explain
+            .execute(&Executor::OneShot, points)
+            .expect("one-shot failed")
+    });
+
+    // Streaming (EWS), without and with explanation, observed incrementally
+    // through a streaming session of the same query.
+    let streaming_options = StreamingOptions {
         reservoir_size: 10_000,
         decay_rate: 0.01,
         decay_period: 100_000,
         retrain_period: 10_000,
-        ..StreamingMdpConfig::default()
+        ..StreamingOptions::default()
     };
-    let mut ews_skip = MdpStreaming::new(StreamingMdpConfig {
-        skip_explanation: true,
-        ..streaming_config.clone()
-    });
+    let mut ews_skip = query(true)
+        .build()
+        .expect("query construction failed")
+        .into_streaming(&streaming_options)
+        .expect("streaming session failed");
     let (_, ews_no_explain_s) = timed(|| {
         for p in points {
             ews_skip.observe(p).expect("observe failed");
         }
     });
-    let mut ews = MdpStreaming::new(streaming_config);
+    let mut ews = query(false)
+        .build()
+        .expect("query construction failed")
+        .into_streaming(&streaming_options)
+        .expect("streaming session failed");
     let (ews_report, ews_with_explain_s) = timed(|| {
         for p in points {
             ews.observe(p).expect("observe failed");

@@ -7,7 +7,7 @@
 //! queries (LS, TS, ES, AS, FS, MS) run in a compiled, allocation-conscious
 //! implementation — using the same row layout.
 
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use macrobase_core::query::{Executor, MdpQuery};
 use mb_bench::{arg_usize, emit_json, human_count, records_to_points, throughput, timed};
 use mb_ingest::datasets::{generate_dataset, simple_query_view, DatasetId, DatasetScale};
 
@@ -18,11 +18,12 @@ fn main() {
     for id in DatasetId::all() {
         let dataset = generate_dataset(id, DatasetScale { divisor }, 13);
         let points = records_to_points(&simple_query_view(&dataset));
-        let mdp = MdpOneShot::new(MdpConfig {
-            skip_explanation: true,
-            ..MdpConfig::default()
-        });
-        let (_, seconds) = timed(|| mdp.run(&points).expect("query failed"));
+        let mut query = MdpQuery::builder()
+            .skip_explanation()
+            .build()
+            .expect("query construction failed");
+        let (_, seconds) =
+            timed(|| query.execute(&Executor::OneShot, &points).expect("query failed"));
         let tput = throughput(points.len(), seconds);
         let name = format!("{}S", id.query_prefix());
         println!(

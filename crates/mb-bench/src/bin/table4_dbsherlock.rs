@@ -6,7 +6,7 @@
 //! the anomalous hostname under the generic QS query and the per-anomaly QE
 //! queries.
 
-use macrobase_core::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
+use macrobase_core::query::{EstimatorKind, Executor, MdpQuery};
 use macrobase_core::types::Point;
 use mb_bench::{arg_usize, emit_json};
 use mb_explain::ExplanationConfig;
@@ -30,14 +30,14 @@ fn truth_rank(
             )
         })
         .collect();
-    let mdp = MdpOneShot::new(MdpConfig {
-        estimator: EstimatorKind::Mcd,
-        explanation: ExplanationConfig::new(0.02, 3.0),
-        attribute_names: vec!["hostname".to_string()],
-        training_sample_size: Some(1_000),
-        ..MdpConfig::default()
-    });
-    let report = mdp.run(&points).ok()?;
+    let mut query = MdpQuery::builder()
+        .estimator(EstimatorKind::Mcd)
+        .explanation(ExplanationConfig::new(0.02, 3.0))
+        .attribute_names(vec!["hostname".to_string()])
+        .training_sample_size(1_000)
+        .build()
+        .expect("query construction failed");
+    let report = query.execute(&Executor::OneShot, &points).ok()?;
     report
         .explanations
         .iter()

@@ -6,7 +6,7 @@
 //! Each strategy receives the same pre-classified outlier/inlier transaction
 //! sets so the comparison isolates explanation cost, as in the paper.
 
-use macrobase_core::oneshot::{MdpConfig, MdpOneShot};
+use macrobase_core::query::{Executor, MdpQuery};
 use mb_bench::{arg_usize, emit_json, records_to_points, timed};
 use mb_classify::Label;
 use mb_explain::baselines::{apriori_explain, cube_explain, decision_tree_explain};
@@ -22,12 +22,14 @@ fn classify_and_encode(
     points: &[macrobase_core::types::Point],
 ) -> (Vec<Vec<Item>>, Vec<Vec<Item>>) {
     // Use the MDP classifier once to produce labels, then encode attributes.
-    let mdp = MdpOneShot::new(MdpConfig {
-        skip_explanation: true,
-        retain_scores: true,
-        ..MdpConfig::default()
-    });
-    let report = mdp.run(points).expect("classification failed");
+    let mut query = MdpQuery::builder()
+        .skip_explanation()
+        .retain_scores()
+        .build()
+        .expect("query construction failed");
+    let report = query
+        .execute(&Executor::OneShot, points)
+        .expect("classification failed");
     let cutoff = report.score_cutoff.unwrap_or(f64::INFINITY);
     let mut encoder = AttributeEncoder::new();
     let mut outliers = Vec::new();

@@ -101,73 +101,115 @@ fn split_line(line: &str, delimiter: char) -> Vec<String> {
     fields
 }
 
-/// Ingest CSV data from any buffered reader according to `query`.
-pub fn ingest_csv<R: BufRead>(reader: R, query: &CsvQuery) -> Result<CsvIngestResult, CsvError> {
-    let mut lines = reader.lines();
-    let header_line = lines.next().ok_or(CsvError::MissingHeader)??;
-    let header: Vec<String> = split_line(&header_line, query.delimiter)
-        .into_iter()
-        .map(|h| h.trim().to_string())
-        .collect();
-    let find = |name: &String| -> Result<usize, CsvError> {
-        header
-            .iter()
-            .position(|h| h == name)
-            .ok_or_else(|| CsvError::UnknownColumn(name.clone()))
-    };
-    let metric_idx: Vec<usize> = query
-        .metric_columns
-        .iter()
-        .map(find)
-        .collect::<Result<_, _>>()?;
-    let attribute_idx: Vec<usize> = query
-        .attribute_columns
-        .iter()
-        .map(find)
-        .collect::<Result<_, _>>()?;
+/// A streaming CSV reader: parses the header eagerly (so unknown columns
+/// fail at construction), then yields [`Record`]s one at a time without
+/// materializing the file. [`ingest_csv`] is a thin collect over it; batch
+/// ingestion into a running query goes through
+/// `macrobase_core::operator::CsvIngestor`.
+pub struct CsvReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    delimiter: char,
+    metric_idx: Vec<usize>,
+    attribute_idx: Vec<usize>,
+    skipped_rows: usize,
+}
 
+impl<R: BufRead> CsvReader<R> {
+    /// Read and validate the header, resolving `query`'s column names to
+    /// field indices.
+    pub fn new(reader: R, query: &CsvQuery) -> Result<Self, CsvError> {
+        let mut lines = reader.lines();
+        let header_line = lines.next().ok_or(CsvError::MissingHeader)??;
+        let header: Vec<String> = split_line(&header_line, query.delimiter)
+            .into_iter()
+            .map(|h| h.trim().to_string())
+            .collect();
+        let find = |name: &String| -> Result<usize, CsvError> {
+            header
+                .iter()
+                .position(|h| h == name)
+                .ok_or_else(|| CsvError::UnknownColumn(name.clone()))
+        };
+        let metric_idx: Vec<usize> = query
+            .metric_columns
+            .iter()
+            .map(find)
+            .collect::<Result<_, _>>()?;
+        let attribute_idx: Vec<usize> = query
+            .attribute_columns
+            .iter()
+            .map(find)
+            .collect::<Result<_, _>>()?;
+        Ok(CsvReader {
+            lines,
+            delimiter: query.delimiter,
+            metric_idx,
+            attribute_idx,
+            skipped_rows: 0,
+        })
+    }
+
+    /// Number of data rows skipped so far because a metric failed to parse
+    /// or a column was missing.
+    pub fn skipped_rows(&self) -> usize {
+        self.skipped_rows
+    }
+
+    /// The next successfully parsed record; `Ok(None)` at end of input.
+    /// Unparseable rows are skipped (and counted), I/O failures are errors.
+    pub fn next_record(&mut self) -> Result<Option<Record>, CsvError> {
+        for line in self.lines.by_ref() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = split_line(&line, self.delimiter);
+            let mut metrics = Vec::with_capacity(self.metric_idx.len());
+            let mut ok = true;
+            for &idx in &self.metric_idx {
+                match fields.get(idx).and_then(|f| f.trim().parse::<f64>().ok()) {
+                    Some(v) if v.is_finite() => metrics.push(v),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                self.skipped_rows += 1;
+                continue;
+            }
+            let mut attributes = Vec::with_capacity(self.attribute_idx.len());
+            for &idx in &self.attribute_idx {
+                match fields.get(idx) {
+                    Some(value) => attributes.push(value.trim().to_string()),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                self.skipped_rows += 1;
+                continue;
+            }
+            return Ok(Some(Record::new(metrics, attributes)));
+        }
+        Ok(None)
+    }
+}
+
+/// Ingest CSV data from any buffered reader according to `query`,
+/// materializing every record.
+pub fn ingest_csv<R: BufRead>(reader: R, query: &CsvQuery) -> Result<CsvIngestResult, CsvError> {
+    let mut reader = CsvReader::new(reader, query)?;
     let mut records = Vec::new();
-    let mut skipped_rows = 0usize;
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields = split_line(&line, query.delimiter);
-        let mut metrics = Vec::with_capacity(metric_idx.len());
-        let mut ok = true;
-        for &idx in &metric_idx {
-            match fields.get(idx).and_then(|f| f.trim().parse::<f64>().ok()) {
-                Some(v) if v.is_finite() => metrics.push(v),
-                _ => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if !ok {
-            skipped_rows += 1;
-            continue;
-        }
-        let mut attributes = Vec::with_capacity(attribute_idx.len());
-        for &idx in &attribute_idx {
-            match fields.get(idx) {
-                Some(value) => attributes.push(value.trim().to_string()),
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if !ok {
-            skipped_rows += 1;
-            continue;
-        }
-        records.push(Record::new(metrics, attributes));
+    while let Some(record) = reader.next_record()? {
+        records.push(record);
     }
     Ok(CsvIngestResult {
         records,
-        skipped_rows,
+        skipped_rows: reader.skipped_rows(),
     })
 }
 
@@ -256,6 +298,18 @@ name,amount
         let q = CsvQuery::new(vec!["a".to_string()], vec!["b".to_string()]);
         let result = ingest_csv_str(data, &q).unwrap();
         assert_eq!(result.records.len(), 2);
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_lazily() {
+        let mut reader = CsvReader::new(std::io::Cursor::new(SAMPLE), &query()).unwrap();
+        let first = reader.next_record().unwrap().unwrap();
+        assert_eq!(first.metrics, vec![85.5]);
+        assert_eq!(first.attributes[0], "B264");
+        assert!(reader.next_record().unwrap().is_some());
+        assert!(reader.next_record().unwrap().is_some());
+        assert!(reader.next_record().unwrap().is_none());
+        assert_eq!(reader.skipped_rows(), 0);
     }
 
     #[test]

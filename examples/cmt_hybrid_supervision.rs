@@ -48,30 +48,27 @@ fn main() {
         ));
     }
 
-    // Hybrid pipeline: unsupervised MCD over all metrics OR a rule flagging
+    // Hybrid query: unsupervised MCD over all metrics OR a rule flagging
     // quality scores below 0.3 (metric index 2).
-    let mut pipeline = Pipeline::builder()
+    let mut query = MdpQuery::builder()
         .supervised_rule(RuleClassifier::single(2, Comparison::LessThan, 0.3))
-        .mdp_config(MdpConfig {
-            estimator: EstimatorKind::Mcd,
-            explanation: ExplanationConfig::new(0.01, 3.0),
-            attribute_names: vec!["phone_model".to_string(), "os_version".to_string()],
-            training_sample_size: Some(20_000),
-            ..MdpConfig::default()
-        })
+        .estimator(EstimatorKind::Mcd)
+        .explanation(ExplanationConfig::new(0.01, 3.0))
+        .attribute_names(vec!["phone_model".to_string(), "os_version".to_string()])
+        .training_sample_size(20_000)
         .build()
-        .expect("pipeline construction failed");
+        .expect("query construction failed");
 
     let start = std::time::Instant::now();
-    let (labeled, report) = pipeline.run(points).expect("pipeline run failed");
+    let report = query
+        .execute(&Executor::OneShot, &points)
+        .expect("query run failed");
     let elapsed = start.elapsed();
 
     println!("{}", render_report(&report, 12));
     println!(
-        "hybrid pipeline labeled {} of {} trips as outliers in {:.2?}",
-        labeled.iter().filter(|p| p.label.is_outlier()).count(),
-        labeled.len(),
-        elapsed
+        "hybrid query labeled {} of {} trips as outliers in {:.2?}",
+        report.num_outliers, report.num_points, elapsed
     );
 
     for needle in ["phone_model=mE", "phone_model=mB"] {

@@ -36,15 +36,17 @@ fn run_query(
             )
         })
         .collect();
-    let mdp = MdpOneShot::new(MdpConfig {
-        estimator: EstimatorKind::Mcd,
-        explanation: ExplanationConfig::new(0.02, 3.0),
-        attribute_names: vec!["hostname".to_string()],
-        training_sample_size: Some(1_000),
-        ..MdpConfig::default()
-    });
+    let mut query = MdpQuery::builder()
+        .estimator(EstimatorKind::Mcd)
+        .explanation(ExplanationConfig::new(0.02, 3.0))
+        .attribute_names(vec!["hostname".to_string()])
+        .training_sample_size(1_000)
+        .build()
+        .expect("query construction failed");
     let start = std::time::Instant::now();
-    let report = mdp.run(&points).expect("query failed");
+    let report = query
+        .execute(&Executor::OneShot, &points)
+        .expect("query failed");
     let top = report
         .top_attributes(1)
         .first()

@@ -99,15 +99,17 @@ fn main() {
         .map(|(metrics, attributes)| Point::new(metrics, attributes))
         .collect();
 
-    let mdp = MdpOneShot::new(MdpConfig {
-        estimator: EstimatorKind::Mcd,
-        explanation: ExplanationConfig::new(0.01, 3.0),
-        attribute_names: vec!["device".to_string(), "hour_of_day".to_string()],
-        ..MdpConfig::default()
-    });
+    let mut query = MdpQuery::builder()
+        .estimator(EstimatorKind::Mcd)
+        .explanation(ExplanationConfig::new(0.01, 3.0))
+        .attribute_names(vec!["device".to_string(), "hour_of_day".to_string()])
+        .build()
+        .expect("query construction failed");
 
     let start = std::time::Instant::now();
-    let report = mdp.run(&points).expect("MDP failed");
+    let report = query
+        .execute(&Executor::OneShot, &points)
+        .expect("MDP failed");
     println!("{}", render_report(&report, 10));
     println!(
         "analyzed {} device-hour windows in {:.2?}",

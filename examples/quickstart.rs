@@ -36,14 +36,16 @@ fn main() {
         ));
     }
 
-    let mdp = MdpOneShot::new(MdpConfig {
-        explanation: ExplanationConfig::new(0.01, 3.0),
-        attribute_names: vec!["device_type".to_string(), "app_version".to_string()],
-        ..MdpConfig::default()
-    });
+    let mut query = MdpQuery::builder()
+        .explanation(ExplanationConfig::new(0.01, 3.0))
+        .attribute_names(vec!["device_type".to_string(), "app_version".to_string()])
+        .build()
+        .expect("query construction failed");
 
     let start = std::time::Instant::now();
-    let report = mdp.run(&points).expect("MDP query failed");
+    let report = query
+        .execute(&Executor::OneShot, &points)
+        .expect("MDP query failed");
     let elapsed = start.elapsed();
 
     println!("{}", render_report(&report, 10));

@@ -60,14 +60,16 @@ fn main() {
         })
         .collect();
 
-    let mdp = MdpOneShot::new(MdpConfig {
-        estimator: EstimatorKind::Mad,
-        explanation: ExplanationConfig::new(0.05, 3.0),
-        attribute_names: vec!["interval".to_string()],
-        ..MdpConfig::default()
-    });
+    let mut query = MdpQuery::builder()
+        .estimator(EstimatorKind::Mad)
+        .explanation(ExplanationConfig::new(0.05, 3.0))
+        .attribute_names(vec!["interval".to_string()])
+        .build()
+        .expect("query construction failed");
     let mdp_start = std::time::Instant::now();
-    let report = mdp.run(&points).expect("MDP failed");
+    let report = query
+        .execute(&Executor::OneShot, &points)
+        .expect("MDP failed");
     let mdp_elapsed = mdp_start.elapsed();
 
     println!("{}", render_report(&report, 5));

@@ -9,8 +9,9 @@
 //!
 //! This façade crate re-exports the full public API of the workspace:
 //!
-//! * [`core`] — data types, operator traits, the MacroBase Default Pipeline
-//!   (MDP) in one-shot, streaming, hybrid, and partitioned forms.
+//! * [`core`] — data types, operator traits, and the unified query surface:
+//!   one `MdpQuery` executed by any `Executor` backend (one-shot,
+//!   coordinated partitioned, naïve partitioned, streaming).
 //! * [`stats`] — robust statistics: MAD, FastMCD, Mahalanobis distances,
 //!   confidence intervals.
 //! * [`sketch`] — the Adaptable Damped Reservoir (ADR), the Amortized
@@ -40,17 +41,21 @@
 //!     points[i * 100] = Point::simple(90.0, "device_13");
 //! }
 //!
-//! let mdp = MdpOneShot::with_defaults();
-//! let report = mdp.run(&points).unwrap();
+//! // One query...
+//! let mut query = MdpQuery::with_defaults();
+//! let report = query.execute(&Executor::OneShot, &points).unwrap();
 //! assert!(report.explanations.iter().any(|e| {
 //!     e.attributes.iter().any(|a| a.contains("device_13"))
 //! }));
 //!
-//! // Scale out without giving up accuracy: coordinated partitioned execution
-//! // shares one trained model and merges pre-render explanation state, so the
-//! // report is exactly the one-shot report at any partition count (unlike the
-//! // naïve `run_partitioned`, whose accuracy degrades with cores).
-//! let scaled = run_coordinated(&points, 8, &MdpConfig::default()).unwrap();
+//! // ...any engine. Coordinated partitioned execution shares one trained
+//! // model and merges pre-render explanation state, so the report is exactly
+//! // the one-shot report at any partition count (unlike
+//! // `Executor::NaivePartitioned`, whose accuracy degrades with cores).
+//! let mut query = MdpQuery::with_defaults();
+//! let scaled = query
+//!     .execute(&Executor::Coordinated { partitions: 8 }, &points)
+//!     .unwrap();
 //! assert_eq!(scaled.num_outliers, report.num_outliers);
 //! ```
 
@@ -66,13 +71,30 @@ pub use mb_transform as transform;
 
 /// Commonly used types, re-exported for `use macrobase::prelude::*`.
 pub mod prelude {
-    pub use crate::core::coordinated::run_coordinated;
-    pub use crate::core::oneshot::{EstimatorKind, MdpConfig, MdpOneShot};
-    pub use crate::core::parallel::{default_num_partitions, run_partitioned};
-    pub use crate::core::pipeline::{Pipeline, PipelineBuilder};
+    pub use crate::core::executor::{MdpClassifier, MdpExplainer};
+    pub use crate::core::operator::{
+        Classifier, CsvIngestor, Explainer, Ingestor, Transformer, VecIngestor,
+    };
+    pub use crate::core::parallel::default_num_partitions;
     pub use crate::core::presentation::render_report;
-    pub use crate::core::streaming::{MdpStreaming, StreamingMdpConfig};
+    pub use crate::core::query::{
+        AnalysisConfig, EstimatorKind, Executor, MdpQuery, MdpQueryBuilder, StreamingOptions,
+    };
+    pub use crate::core::streaming::StreamingSession;
     pub use crate::core::types::{LabeledPoint, MdpReport, Point, RenderedExplanation};
-    pub use crate::core::Label;
+    pub use crate::core::{Classification, Label, PipelineError};
     pub use crate::explain::ExplanationConfig;
+
+    // Deprecated pre-query entry points, kept so existing code compiles
+    // (each carries a migration pointer in its deprecation note).
+    #[allow(deprecated)]
+    pub use crate::core::coordinated::run_coordinated;
+    #[allow(deprecated)]
+    pub use crate::core::oneshot::{MdpConfig, MdpOneShot};
+    #[allow(deprecated)]
+    pub use crate::core::parallel::run_partitioned;
+    #[allow(deprecated)]
+    pub use crate::core::pipeline::{Pipeline, PipelineBuilder};
+    #[allow(deprecated)]
+    pub use crate::core::streaming::{MdpStreaming, StreamingMdpConfig};
 }

@@ -15,15 +15,19 @@ fn streaming_mdp_adapts_to_the_figure5_script() {
     // (150-225 s), and the arrival-rate spike at 320 s does not produce a
     // false D0 explanation at the end of the run.
     let stream = adaptivity_stream(200, 11);
-    let mut mdp = MdpStreaming::new(StreamingMdpConfig {
-        explanation: ExplanationConfig::new(0.01, 3.0),
-        attribute_names: vec!["device".to_string()],
-        reservoir_size: 2_000,
-        decay_rate: 0.3,
-        decay_period: 10_000,
-        retrain_period: 4_000,
-        ..StreamingMdpConfig::default()
-    });
+    let mut mdp = MdpQuery::builder()
+        .explanation(ExplanationConfig::new(0.01, 3.0))
+        .attribute_names(vec!["device".to_string()])
+        .build()
+        .unwrap()
+        .into_streaming(&StreamingOptions {
+            reservoir_size: 2_000,
+            decay_rate: 0.3,
+            decay_period: 10_000,
+            retrain_period: 4_000,
+            ..StreamingOptions::default()
+        })
+        .unwrap();
 
     // Risk ratio MDP currently assigns to the D0 explanation (0 when absent).
     let d0_risk_ratio = |report: &MdpReport| {
@@ -81,14 +85,14 @@ fn top1_host(records: &[macrobase::ingest::Record], metric_indices: &[usize]) ->
             )
         })
         .collect();
-    let mdp = MdpOneShot::new(MdpConfig {
-        estimator: EstimatorKind::Mcd,
-        explanation: ExplanationConfig::new(0.02, 3.0),
-        attribute_names: vec!["hostname".to_string()],
-        training_sample_size: Some(1_000),
-        ..MdpConfig::default()
-    });
-    let report = mdp.run(&points).ok()?;
+    let mut query = MdpQuery::builder()
+        .estimator(EstimatorKind::Mcd)
+        .explanation(ExplanationConfig::new(0.02, 3.0))
+        .attribute_names(vec!["hostname".to_string()])
+        .training_sample_size(1_000)
+        .build()
+        .ok()?;
+    let report = query.execute(&Executor::OneShot, &points).ok()?;
     report
         .explanations
         .first()

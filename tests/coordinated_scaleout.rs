@@ -21,12 +21,16 @@ fn workload_points(num_points: usize, num_devices: usize) -> (Vec<Point>, Vec<St
     (points, workload.outlying_devices)
 }
 
-fn config() -> MdpConfig {
-    MdpConfig {
+fn config() -> AnalysisConfig {
+    AnalysisConfig {
         explanation: ExplanationConfig::new(0.01, 3.0),
         attribute_names: vec!["device_id".to_string()],
-        ..MdpConfig::default()
+        ..AnalysisConfig::default()
     }
+}
+
+fn run(config: AnalysisConfig, executor: &Executor, points: &[Point]) -> MdpReport {
+    MdpQuery::new(config).execute(executor, points).unwrap()
 }
 
 /// Map each explanation's (sorted) attribute combination to its statistics.
@@ -52,7 +56,7 @@ fn explanation_index(report: &MdpReport) -> BTreeMap<Vec<String>, (f64, f64, f64
 #[test]
 fn coordinated_reproduces_one_shot_exactly_for_one_through_eight_partitions() {
     let (points, truth) = workload_points(40_000, 200);
-    let one_shot = MdpOneShot::new(config()).run(&points).unwrap();
+    let one_shot = run(config(), &Executor::OneShot, &points);
     assert!(one_shot.num_outliers > 0);
     let reference = explanation_index(&one_shot);
     // The reference itself covers the ground truth, so exact reproduction
@@ -67,7 +71,7 @@ fn coordinated_reproduces_one_shot_exactly_for_one_through_eight_partitions() {
     }
 
     for num_partitions in 1..=8 {
-        let coordinated = run_coordinated(&points, num_partitions, &config()).unwrap();
+        let coordinated = run(config(), &Executor::Coordinated { partitions: num_partitions }, &points);
         assert_eq!(
             coordinated.num_outliers, one_shot.num_outliers,
             "outlier count diverged at {num_partitions} partitions"
@@ -124,13 +128,13 @@ fn coordinated_multivariate_mcd_reproduces_one_shot_on_the_pool() {
             vec!["device_bad".to_string(), "fw_1".to_string()],
         );
     }
-    let config = MdpConfig {
+    let config = AnalysisConfig {
         explanation: ExplanationConfig::new(0.01, 3.0),
         attribute_names: vec!["device_id".to_string(), "firmware".to_string()],
-        ..MdpConfig::default()
+        ..AnalysisConfig::default()
     };
 
-    let one_shot = MdpOneShot::new(config.clone()).run(&points).unwrap();
+    let one_shot = run(config.clone(), &Executor::OneShot, &points);
     assert!(one_shot.num_outliers > 0);
     let reference = explanation_index(&one_shot);
     assert!(reference
@@ -138,7 +142,7 @@ fn coordinated_multivariate_mcd_reproduces_one_shot_on_the_pool() {
         .any(|attrs| attrs.iter().any(|a| a.contains("device_bad"))));
 
     for num_partitions in 1..=8 {
-        let coordinated = run_coordinated(&points, num_partitions, &config).unwrap();
+        let coordinated = run(config.clone(), &Executor::Coordinated { partitions: num_partitions }, &points);
         assert_eq!(coordinated.num_outliers, one_shot.num_outliers);
         assert_eq!(coordinated.score_cutoff, one_shot.score_cutoff);
         let merged = explanation_index(&coordinated);
@@ -167,17 +171,17 @@ fn naive_partitioning_diverges_where_coordinated_does_not() {
     // against the coordinated path silently degrading into the naïve one.
     let (points, _) = workload_points(40_000, 200);
     let shared = config();
-    let one_shot = MdpOneShot::new(shared.clone()).run(&points).unwrap();
+    let one_shot = run(shared.clone(), &Executor::OneShot, &points);
     let reference: Vec<Vec<String>> = explanation_index(&one_shot).into_keys().collect();
 
-    let coordinated = run_coordinated(&points, 8, &shared).unwrap();
+    let coordinated = run(shared.clone(), &Executor::Coordinated { partitions: 8 }, &points);
     let coordinated_set: Vec<Vec<String>> =
         explanation_index(&coordinated).into_keys().collect();
     assert_eq!(coordinated_set, reference);
 
-    let naive = run_partitioned(&points, 8, &shared).unwrap();
+    let naive = run(shared, &Executor::NaivePartitioned { partitions: 8 }, &points);
     let mut naive_set: Vec<Vec<String>> = naive
-        .merged_explanations
+        .explanations
         .iter()
         .map(|e| {
             let mut attrs = e.attributes.clone();

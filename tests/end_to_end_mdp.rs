@@ -35,12 +35,12 @@ fn one_shot_mdp_perfectly_recovers_devices_without_noise() {
         outlying_device_fraction: 0.01,
         ..DeviceWorkloadConfig::default()
     });
-    let mdp = MdpOneShot::new(MdpConfig {
-        explanation: ExplanationConfig::new(0.001, 3.0),
-        attribute_names: vec!["device_id".to_string()],
-        ..MdpConfig::default()
-    });
-    let report = mdp.run(&points).unwrap();
+    let mut query = MdpQuery::builder()
+        .explanation(ExplanationConfig::new(0.001, 3.0))
+        .attribute_names(vec!["device_id".to_string()])
+        .build()
+        .unwrap();
+    let report = query.execute(&Executor::OneShot, &points).unwrap();
     let f1 = device_f1_score(&reported_devices(&report), &truth);
     assert!(f1 > 0.95, "F1 was {f1}");
 }
@@ -64,13 +64,13 @@ fn one_shot_mdp_is_resilient_to_moderate_label_noise() {
     });
     let anomalous_mass =
         label_noise * (1.0 - outlying_fraction) + (1.0 - label_noise) * outlying_fraction;
-    let mdp = MdpOneShot::new(MdpConfig {
-        target_percentile: 1.0 - anomalous_mass,
-        explanation: ExplanationConfig::new(0.001, 3.0),
-        attribute_names: vec!["device_id".to_string()],
-        ..MdpConfig::default()
-    });
-    let report = mdp.run(&points).unwrap();
+    let mut query = MdpQuery::builder()
+        .target_percentile(1.0 - anomalous_mass)
+        .explanation(ExplanationConfig::new(0.001, 3.0))
+        .attribute_names(vec!["device_id".to_string()])
+        .build()
+        .unwrap();
+    let report = query.execute(&Executor::OneShot, &points).unwrap();
     let f1 = device_f1_score(&reported_devices(&report), &truth);
     assert!(f1 > 0.8, "F1 under 15% label noise was {f1}");
 }
@@ -87,27 +87,30 @@ fn streaming_and_one_shot_agree_on_stable_streams() {
         ..DeviceWorkloadConfig::default()
     });
 
-    let one_shot_report = MdpOneShot::new(MdpConfig {
-        explanation: ExplanationConfig::new(0.01, 3.0),
-        attribute_names: vec!["device_id".to_string()],
-        ..MdpConfig::default()
-    })
-    .run(&points)
-    .unwrap();
+    let build = || {
+        MdpQuery::builder()
+            .explanation(ExplanationConfig::new(0.01, 3.0))
+            .attribute_names(vec!["device_id".to_string()])
+            .build()
+            .unwrap()
+    };
+    let one_shot_report = build().execute(&Executor::OneShot, &points).unwrap();
 
-    let mut streaming = MdpStreaming::new(StreamingMdpConfig {
-        explanation: ExplanationConfig::new(0.01, 3.0),
-        attribute_names: vec!["device_id".to_string()],
-        reservoir_size: 5_000,
-        decay_rate: 0.01,
-        decay_period: 20_000,
-        retrain_period: 10_000,
-        ..StreamingMdpConfig::default()
-    });
-    for p in &points {
-        streaming.observe(p).unwrap();
-    }
-    let streaming_report = streaming.report();
+    // The same query, handed to the streaming backend.
+    let streaming_report = build()
+        .execute(
+            &Executor::Streaming {
+                options: StreamingOptions {
+                    reservoir_size: 5_000,
+                    decay_rate: 0.01,
+                    decay_period: 20_000,
+                    retrain_period: 10_000,
+                    ..StreamingOptions::default()
+                },
+            },
+            &points,
+        )
+        .unwrap();
 
     let one_shot_devices: std::collections::HashSet<String> =
         reported_devices(&one_shot_report).into_iter().collect();
@@ -133,13 +136,17 @@ fn partitioned_execution_preserves_recall_but_not_precision() {
         outlying_device_fraction: 0.02,
         ..DeviceWorkloadConfig::default()
     });
-    let config = MdpConfig {
+    let config = AnalysisConfig {
         explanation: ExplanationConfig::new(0.01, 3.0),
         attribute_names: vec!["device_id".to_string()],
-        ..MdpConfig::default()
+        ..AnalysisConfig::default()
     };
-    let single = run_partitioned(&points, 1, &config).unwrap();
-    let partitioned = run_partitioned(&points, 8, &config).unwrap();
+    let single = MdpQuery::new(config.clone())
+        .execute(&Executor::NaivePartitioned { partitions: 1 }, &points)
+        .unwrap();
+    let partitioned = MdpQuery::new(config)
+        .execute(&Executor::NaivePartitioned { partitions: 8 }, &points)
+        .unwrap();
 
     let devices_of = |explanations: &[RenderedExplanation]| -> std::collections::HashSet<String> {
         explanations
@@ -148,8 +155,8 @@ fn partitioned_execution_preserves_recall_but_not_precision() {
             .filter_map(|a| a.split('=').nth(1).map(|s| s.to_string()))
             .collect()
     };
-    let single_devices = devices_of(&single.merged_explanations);
-    let partitioned_devices = devices_of(&partitioned.merged_explanations);
+    let single_devices = devices_of(&single.explanations);
+    let partitioned_devices = devices_of(&partitioned.explanations);
     for device in &truth {
         assert!(single_devices.contains(device));
         assert!(
@@ -159,7 +166,9 @@ fn partitioned_execution_preserves_recall_but_not_precision() {
     }
     // The union of per-partition explanations is at least as large (extra,
     // lower-quality explanations are the accuracy cost Figure 11 reports).
-    assert!(partitioned.merged_explanations.len() >= single.merged_explanations.len());
+    assert!(partitioned.explanations.len() >= single.explanations.len());
+    // The unified report preserves per-partition detail.
+    assert_eq!(partitioned.partition_reports.as_ref().unwrap().len(), 8);
 }
 
 #[test]
@@ -174,24 +183,22 @@ fn csv_ingestion_feeds_the_pipeline() {
         };
         csv.push_str(&format!("{power},{device}\n"));
     }
-    let query = macrobase::ingest::csv::CsvQuery::new(
+    let csv_query = macrobase::ingest::csv::CsvQuery::new(
         vec!["power".to_string()],
         vec!["device".to_string()],
     );
-    let ingested = macrobase::ingest::csv::ingest_csv_str(&csv, &query).unwrap();
-    assert_eq!(ingested.skipped_rows, 0);
-    let points: Vec<Point> = ingested
-        .records
-        .into_iter()
-        .map(|r| Point::new(r.metrics, r.attributes))
-        .collect();
-    let report = MdpOneShot::new(MdpConfig {
-        explanation: ExplanationConfig::new(0.01, 3.0),
-        attribute_names: vec!["device".to_string()],
-        ..MdpConfig::default()
-    })
-    .run(&points)
-    .unwrap();
+    // The CSV streams straight into the query through the Ingestor trait —
+    // no pre-materialized point vector.
+    let mut source = CsvIngestor::new(std::io::Cursor::new(csv), &csv_query, 512).unwrap();
+    let report = MdpQuery::builder()
+        .explanation(ExplanationConfig::new(0.01, 3.0))
+        .attribute_names(vec!["device".to_string()])
+        .build()
+        .unwrap()
+        .execute_ingest(&Executor::OneShot, &mut source)
+        .unwrap();
+    assert_eq!(source.skipped_rows(), 0);
+    assert_eq!(report.num_points, 5_000);
     assert!(report
         .explanations
         .iter()

@@ -1,0 +1,213 @@
+//! The unified query surface, end to end: one `MdpQuery` must answer
+//! *identically* — byte for byte — through the one-shot and coordinated
+//! backends at any partition count, misconfigurations must surface as typed
+//! errors, and every backend must accept any `Ingestor` source.
+
+use macrobase::classify::rule::{Comparison, RuleClassifier};
+use macrobase::core::operator::MapTransformer;
+use macrobase::prelude::*;
+
+fn workload(n: usize) -> Vec<Point> {
+    let mut points: Vec<Point> = (0..n)
+        .map(|i| {
+            Point::new(
+                vec![10.0 + (i % 9) as f64 * 0.2],
+                vec![format!("device_{}", i % 60), format!("fw_{}", i % 3)],
+            )
+        })
+        .collect();
+    for i in 0..(n / 100) {
+        points[i * 100] = Point::new(
+            vec![21.0], // modest pre-transform; extreme once squared
+            vec!["device_bad".to_string(), "fw_1".to_string()],
+        );
+    }
+    points
+}
+
+/// The query under test: a transformer stage (squaring the metric), named
+/// attributes, tight explanation thresholds, and retained scores so the
+/// comparison covers every field of the report.
+fn build_query() -> MdpQuery {
+    MdpQuery::builder()
+        .transform(Box::new(MapTransformer::new(|mut p: Point| {
+            p.metrics[0] = p.metrics[0] * p.metrics[0];
+            p
+        })))
+        .explanation(ExplanationConfig::new(0.01, 3.0))
+        .attribute_names(vec!["device_id".to_string(), "firmware".to_string()])
+        .retain_scores()
+        .build()
+        .unwrap()
+}
+
+/// Byte-identical comparison of two reports: every scalar, every retained
+/// score, and the full ranked explanation sequence (attributes, items, and
+/// exact statistics).
+fn assert_reports_identical(a: &MdpReport, b: &MdpReport, context: &str) {
+    assert_eq!(a.num_points, b.num_points, "num_points diverged: {context}");
+    assert_eq!(
+        a.num_outliers, b.num_outliers,
+        "num_outliers diverged: {context}"
+    );
+    assert_eq!(
+        a.score_cutoff, b.score_cutoff,
+        "score_cutoff diverged: {context}"
+    );
+    assert_eq!(a.scores, b.scores, "scores diverged: {context}");
+    assert_eq!(
+        a.explanations, b.explanations,
+        "explanation sequence diverged: {context}"
+    );
+}
+
+#[test]
+fn one_query_with_transformer_is_byte_identical_one_shot_vs_coordinated() {
+    let points = workload(20_000);
+    let reference = build_query()
+        .execute(&Executor::OneShot, &points)
+        .unwrap();
+    // The transformed extreme must actually drive the report.
+    assert!(reference.num_outliers > 0);
+    assert!(reference
+        .explanations
+        .iter()
+        .any(|e| e.attributes.iter().any(|a| a.contains("device_bad"))));
+
+    for partitions in 1..=8 {
+        let coordinated = build_query()
+            .execute(&Executor::Coordinated { partitions }, &points)
+            .unwrap();
+        assert_reports_identical(
+            &reference,
+            &coordinated,
+            &format!("{partitions} partitions"),
+        );
+    }
+}
+
+#[test]
+fn hybrid_query_is_byte_identical_one_shot_vs_coordinated() {
+    // Add a supervised rule on top of the transformer: the OR of percentile
+    // and rule labels must still reconcile exactly across partitions.
+    let build = || {
+        MdpQuery::builder()
+            .transform(Box::new(MapTransformer::new(|mut p: Point| {
+                p.metrics[0] = p.metrics[0] * p.metrics[0];
+                p
+            })))
+            .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 430.0))
+            .explanation(ExplanationConfig::new(0.005, 3.0))
+            .attribute_names(vec!["device_id".to_string(), "firmware".to_string()])
+            .retain_scores()
+            .build()
+            .unwrap()
+    };
+    let points = workload(12_000);
+    let reference = build().execute(&Executor::OneShot, &points).unwrap();
+    assert!(reference.num_outliers > 0);
+    for partitions in [1, 3, 5, 8] {
+        let coordinated = build()
+            .execute(&Executor::Coordinated { partitions }, &points)
+            .unwrap();
+        assert_reports_identical(
+            &reference,
+            &coordinated,
+            &format!("hybrid, {partitions} partitions"),
+        );
+    }
+}
+
+#[test]
+fn builder_misconfigurations_return_typed_errors() {
+    // No classifier at all.
+    assert!(matches!(
+        MdpQuery::builder().without_unsupervised().build(),
+        Err(PipelineError::MissingClassifier)
+    ));
+    // Percentile outside [0, 1].
+    assert!(matches!(
+        MdpQuery::builder().target_percentile(2.0).build(),
+        Err(PipelineError::InvalidConfiguration(_))
+    ));
+    // Batch-only knobs on the streaming backend.
+    let points = workload(500);
+    let mut retained = MdpQuery::builder().retain_scores().build().unwrap();
+    assert!(matches!(
+        retained.execute(&Executor::streaming(), &points),
+        Err(PipelineError::UnsupportedByBackend {
+            feature: "retain_scores",
+            backend: "streaming",
+        })
+    ));
+    let mut sampled = MdpQuery::builder().training_sample_size(10).build().unwrap();
+    assert!(matches!(
+        sampled.execute(&Executor::streaming(), &points),
+        Err(PipelineError::UnsupportedByBackend {
+            feature: "training_sample_size",
+            ..
+        })
+    ));
+    // Transformer chains cannot run point-at-a-time in a streaming session.
+    let windowed = MdpQuery::builder()
+        .transform(Box::new(MapTransformer::new(|p: Point| p)))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        windowed.into_streaming(&StreamingOptions::default()),
+        Err(PipelineError::UnsupportedByBackend {
+            feature: "transformer chain",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn every_backend_consumes_the_same_ingestor_fed_query() {
+    let points = workload(6_000);
+    let executors = [
+        Executor::OneShot,
+        Executor::Coordinated { partitions: 4 },
+        Executor::NaivePartitioned { partitions: 4 },
+        Executor::streaming(),
+    ];
+    for executor in &executors {
+        let mut query = MdpQuery::builder()
+            .explanation(ExplanationConfig::new(0.01, 3.0))
+            .attribute_names(vec!["device_id".to_string(), "firmware".to_string()])
+            .build()
+            .unwrap();
+        let mut source = VecIngestor::new(points.clone(), 777);
+        let report = query.execute_ingest(executor, &mut source).unwrap();
+        assert_eq!(report.num_points, 6_000, "{} lost points", executor.name());
+        assert!(
+            report.num_outliers > 0,
+            "{} found no outliers",
+            executor.name()
+        );
+    }
+}
+
+#[test]
+fn naive_partitioned_report_carries_partition_detail_and_no_global_cutoff() {
+    let points = workload(8_000);
+    let mut query = MdpQuery::builder()
+        .explanation(ExplanationConfig::new(0.01, 3.0))
+        .attribute_names(vec!["device_id".to_string(), "firmware".to_string()])
+        .retain_scores()
+        .build()
+        .unwrap();
+    let report = query
+        .execute(&Executor::NaivePartitioned { partitions: 4 }, &points)
+        .unwrap();
+    assert!(report.score_cutoff.is_none());
+    // Retained scores concatenate across partitions in input order.
+    assert_eq!(report.scores.len(), 8_000);
+    let partitions = report.partition_reports.as_ref().unwrap();
+    assert_eq!(partitions.len(), 4);
+    assert!(partitions.iter().all(|p| p.score_cutoff.is_some()));
+    assert_eq!(
+        partitions.iter().map(|p| p.scores.len()).sum::<usize>(),
+        8_000
+    );
+}

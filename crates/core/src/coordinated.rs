@@ -14,6 +14,10 @@
 //! 1. **One model** — the robust estimator is fitted once on the global
 //!    batch (honoring the configured training-sample cap) and broadcast to
 //!    partitions by reference; partitions score in parallel against it.
+//!    The single fit is itself no longer serial: FastMCD scatters its
+//!    training restarts as pool tasks with a deterministic
+//!    best-of-restarts merge, so training scales with cores while the
+//!    broadcast model stays a pure function of the batch and seed.
 //! 2. **One threshold** — the percentile cutoff is computed over the merged
 //!    score vector, not per partition.
 //! 3. **Merged explanation state** — each partition builds a pre-render

@@ -261,6 +261,14 @@ pub(crate) fn execute_one_shot(
 
 /// Fit once on the global batch, scatter the scoring pass, and cut one
 /// threshold over the merged score vector.
+///
+/// The fit itself is no longer a serial section: FastMCD scatters its
+/// training restarts as pool tasks (deterministic best-of-restarts merge,
+/// so the model is a pure function of the batch and seed at any thread
+/// count), and each partition's scoring below goes through the estimator's
+/// bulk path — for MCD the parallel Mahalanobis distance pass — which
+/// nests on the same pool. Both levels return exactly the per-row scores
+/// of a serial loop, preserving coordinated ≡ one-shot byte equality.
 fn coordinated_scores<E: Estimator + Sync>(
     estimator: E,
     metrics: &[Vec<f64>],
@@ -280,10 +288,7 @@ fn coordinated_scores<E: Estimator + Sync>(
     let classifier_ref = &classifier;
     let score_chunks: Vec<mb_stats::Result<Vec<f64>>> =
         scatter(partition_chunks(metrics, num_partitions), |chunk| {
-            chunk
-                .iter()
-                .map(|row| classifier_ref.score_point(row))
-                .collect()
+            classifier_ref.score_batch(chunk)
         });
     let mut scores: Vec<f64> = Vec::with_capacity(metrics.len());
     for chunk in score_chunks {

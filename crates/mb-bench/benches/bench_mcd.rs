@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mb_stats::mad::MadEstimator;
+use mb_stats::matrix::{covariance_matrix, Matrix, SpdFactors};
 use mb_stats::mcd::{FastMcdConfig, McdEstimator};
 use mb_stats::rand_ext::{normal, SplitMix64};
 use mb_stats::Estimator;
@@ -82,6 +83,84 @@ fn mcd_single_c_step_train(c: &mut Criterion) {
     group.finish();
 }
 
+/// The linear-algebra cost of one C-step, before and after the factor-once
+/// refactor. `inverse_plus_logdet` is the migrated-away pattern — two
+/// independent [`Matrix`] calls, each running its own LU decomposition
+/// (and, before this refactor, `inverse()` re-decomposed per *column*:
+/// O(d⁴)). `factor_once` is what `mcd.rs` does now: one [`SpdFactors`]
+/// factorization (Cholesky for the SPD covariance) yielding both products.
+fn mcd_inverse_vs_factors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcd_inverse_vs_factors");
+    group.sample_size(10);
+    for &dim in &[8usize, 16, 32] {
+        let mut rng = SplitMix64::new(dim as u64 + 5);
+        let rows: Vec<Vec<f64>> = (0..4 * dim)
+            .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        let (_, cov) = covariance_matrix(&rows).expect("covariance failed");
+        group.bench_with_input(
+            BenchmarkId::new("inverse_plus_logdet", dim),
+            &cov,
+            |b, cov: &Matrix| {
+                b.iter(|| {
+                    let inv = cov.inverse().expect("inverse failed");
+                    let logdet = cov.log_abs_determinant().expect("logdet failed");
+                    inv[(0, 0)] + logdet
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("factor_once", dim),
+            &cov,
+            |b, cov: &Matrix| {
+                b.iter(|| {
+                    let factors = SpdFactors::factor(cov).expect("factor failed");
+                    let inv = factors.inverse();
+                    inv[(0, 0)] + factors.log_abs_determinant()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Full FastMCD training with its restarts scattered on an explicit pool:
+/// one worker (the serial reference) versus four. Restart tasks nest their
+/// C-step distance passes on the same pool; results are bit-identical, so
+/// this measures pure scheduling — on a multi-core box the 4-worker run
+/// approaches `min(num_starts, workers)`-way speedup, on a 1-core CI box
+/// it shows the (small) scatter overhead.
+fn mcd_parallel_restarts(c: &mut Criterion) {
+    let dim = 8;
+    let mut rng = SplitMix64::new(23);
+    let sample: Vec<Vec<f64>> = (0..20_000)
+        .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+        .collect();
+    let config = FastMcdConfig {
+        num_starts: 8,
+        max_iterations: 2,
+        ..FastMcdConfig::default()
+    };
+    let mut group = c.benchmark_group("mcd_parallel_restarts");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sample.len() as u64));
+    for &threads in &[1usize, 4] {
+        let pool = mb_pool::Pool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("workers", threads),
+            &sample,
+            |b, sample| {
+                b.iter(|| {
+                    let mut est = McdEstimator::new(config.clone());
+                    est.train_on_pool(&pool, sample).expect("train failed");
+                    est.location().unwrap()[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn mad_train_by_sample_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("mad_train_by_sample_size");
     group.sample_size(10);
@@ -104,6 +183,8 @@ criterion_group!(
     mcd_train_by_dimension,
     mcd_c_step_distance_pass,
     mcd_single_c_step_train,
+    mcd_inverse_vs_factors,
+    mcd_parallel_restarts,
     mad_train_by_sample_size
 );
 criterion_main!(benches);

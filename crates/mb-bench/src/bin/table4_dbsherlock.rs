@@ -8,7 +8,7 @@
 
 use macrobase_core::query::{EstimatorKind, Executor, MdpQuery};
 use macrobase_core::types::Point;
-use mb_bench::{arg_usize, emit_json};
+use mb_bench::{arg_usize, configure_threads_from_args, emit_json};
 use mb_explain::ExplanationConfig;
 use mb_ingest::dbsherlock::{
     generate_cluster, qe_metric_indices, qs_metric_indices, AnomalyType, DbsherlockConfig,
@@ -46,8 +46,13 @@ fn truth_rank(
 }
 
 fn main() {
+    // This harness is MCD-heavy (every cluster trains FastMCD), so it
+    // exercises the nested restart × distance-pass parallelism; `--threads`
+    // sizes the shared pool. Results are thread-count-invariant.
+    let threads = configure_threads_from_args();
     let clusters_per_anomaly = arg_usize("--clusters", 3);
     let rows_per_server = arg_usize("--rows", 120);
+    println!("pool workers: {threads}");
 
     for workload in [OltpWorkload::TpcC, OltpWorkload::TpcE] {
         let workload_name = match workload {

@@ -90,6 +90,17 @@ impl<E: Estimator> BatchClassifier<E> {
         self.estimator.score(metrics)
     }
 
+    /// Score a batch of rows with the fitted model, one score per row in
+    /// row order. Delegates to [`Estimator::score_batch`], so estimators
+    /// with a parallel bulk path (MCD's pool-scattered distance pass) use
+    /// it; the scores are exactly what row-by-row [`score_point`] returns,
+    /// so partitioned callers can batch without perturbing results.
+    ///
+    /// [`score_point`]: BatchClassifier::score_point
+    pub fn score_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        self.estimator.score_batch(rows)
+    }
+
     /// Install an externally computed threshold — e.g. the global percentile
     /// cutoff of scores merged across partitions.
     pub fn set_threshold(&mut self, threshold: StaticThreshold) {
@@ -101,11 +112,9 @@ impl<E: Estimator> BatchClassifier<E> {
     /// Returns one [`Classification`] per input row, in input order.
     pub fn classify_batch(&mut self, metrics: &[Vec<f64>]) -> Result<Vec<Classification>> {
         self.fit(metrics)?;
-        // Score everything.
-        let scores: Vec<f64> = metrics
-            .iter()
-            .map(|row| self.estimator.score(row))
-            .collect::<Result<Vec<f64>>>()?;
+        // Score everything through the estimator's bulk path (parallel for
+        // MCD, a plain loop otherwise) — identical scores either way.
+        let scores: Vec<f64> = self.estimator.score_batch(metrics)?;
         // Threshold at the target percentile of observed scores.
         let threshold = StaticThreshold::from_scores(&scores, self.config.target_percentile)?;
         self.threshold = Some(threshold);
@@ -287,6 +296,26 @@ mod tests {
             let got = shared.classify_point(row).unwrap();
             assert_eq!(got.label, expected.label);
             assert_eq!(got.score, expected.score);
+        }
+    }
+
+    #[test]
+    fn score_batch_matches_score_point_for_mcd() {
+        // The bulk path runs MCD's parallel distance pass; partitioned
+        // executors rely on it returning exactly the per-point scores.
+        let mut rng = SplitMix64::new(7);
+        let metrics: Vec<Vec<f64>> = (0..4_000)
+            .map(|_| vec![normal(&mut rng, 0.0, 1.0), normal(&mut rng, 2.0, 1.0)])
+            .collect();
+        let mut c = BatchClassifier::new(
+            McdEstimator::with_defaults(),
+            BatchClassifierConfig::default(),
+        );
+        c.fit(&metrics).unwrap();
+        let batch = c.score_batch(&metrics).unwrap();
+        assert_eq!(batch.len(), metrics.len());
+        for (row, &s) in metrics.iter().zip(batch.iter()) {
+            assert_eq!(s, c.score_point(row).unwrap());
         }
     }
 

@@ -15,9 +15,12 @@
 //!   and external submissions land on a shared injector queue.
 //! * **Nested parallelism** — a thread that waits for a scope to finish
 //!   *helps*: it executes queued tasks instead of blocking, so pool workers
-//!   can themselves call [`Pool::join`]/[`Pool::parallel_for`] (e.g. a
-//!   partitioned FastMCD training run parallelizing its C-steps) without
-//!   deadlocking. Helping is stack-safe: past a fixed nesting depth a
+//!   can themselves call [`Pool::join`]/[`Pool::parallel_for`] without
+//!   deadlocking. FastMCD training is the canonical nesting: each restart
+//!   is a pool task ([`Pool::map_vec`]) whose C-step distance passes fan
+//!   out further on the same pool ([`Pool::parallel_for`]) — and a
+//!   partitioned executor may be running the whole fit inside one of its
+//!   own partition tasks. Helping is stack-safe: past a fixed nesting depth a
 //!   waiter only executes tasks of the scope it is waiting for, bounding
 //!   stack growth by the application's real nesting depth instead of the
 //!   number of in-flight tasks.

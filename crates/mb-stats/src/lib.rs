@@ -6,10 +6,13 @@
 //! * [`univariate`] — means, variances, medians, quantiles, and the Median
 //!   Absolute Deviation (MAD).
 //! * [`matrix`] — a small, dependency-free dense matrix type with the
-//!   determinant/inverse/Cholesky operations required by FastMCD.
+//!   reusable factorizations FastMCD's C-step needs
+//!   ([`matrix::LuFactors`], [`matrix::CholeskyFactors`]): factor once,
+//!   derive solve/inverse/log-determinant from the shared factors.
 //! * [`mad`] — the robust univariate outlier scorer based on median/MAD.
 //! * [`mcd`] — the Minimum Covariance Determinant estimator (FastMCD) and
-//!   Mahalanobis-distance scoring for multivariate metrics.
+//!   Mahalanobis-distance scoring for multivariate metrics; training
+//!   scatters its restarts and distance passes on the shared `mb_pool`.
 //! * [`zscore`] — the non-robust Z-score baseline used in Figure 3.
 //! * [`rand_ext`] — in-repo Gaussian/exponential samplers (Box–Muller) so the
 //!   workspace does not need `rand_distr`.
@@ -116,6 +119,19 @@ pub trait Estimator {
     ///
     /// [`train`]: Estimator::train
     fn score(&self, metrics: &[f64]) -> Result<f64>;
+
+    /// Score many metric vectors, returning one score per row in row order.
+    ///
+    /// The default loops over [`score`]; estimators with a cheaper or
+    /// parallel bulk path (e.g. MCD's pool-scattered Mahalanobis distance
+    /// pass) override it. Implementations must return exactly the scores
+    /// the row-by-row loop would, so callers can batch freely without
+    /// perturbing results.
+    ///
+    /// [`score`]: Estimator::score
+    fn score_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        rows.iter().map(|row| self.score(row)).collect()
+    }
 
     /// Dimensionality the model was trained on, if trained.
     fn dimension(&self) -> Option<usize>;

@@ -174,13 +174,21 @@ impl Matrix {
         })
     }
 
-    /// LU decomposition with partial pivoting (Doolittle).
-    ///
-    /// Returns `(lu, perm, sign)` where `lu` stores L (unit diagonal,
-    /// below) and U (on and above the diagonal), `perm` is the row
-    /// permutation, and `sign` is the permutation parity (+1/-1). Returns an
-    /// error for non-square or numerically singular matrices.
-    fn lu_decompose(&self) -> Result<(Matrix, Vec<usize>, f64)> {
+    /// Singularity threshold relative to the magnitude of this matrix's
+    /// entries: `n · ε · max|a_ij|`. A pivot (or Cholesky diagonal term)
+    /// below this is indistinguishable from rounding noise *at the scale of
+    /// the input*, which is what "numerically singular" should mean — an
+    /// absolute cutoff misreports well-conditioned but small-scaled matrices
+    /// (e.g. the covariance of data measured in 1e-7 units) as singular.
+    fn singularity_threshold(&self) -> f64 {
+        self.max_abs() * self.rows.max(self.cols) as f64 * f64::EPSILON
+    }
+
+    /// LU-decompose this square matrix with partial pivoting (Doolittle)
+    /// into reusable [`LuFactors`]. Returns an error for non-square or
+    /// numerically singular matrices (pivot below the scale-relative
+    /// threshold).
+    pub fn lu(&self) -> Result<LuFactors> {
         if !self.is_square() {
             return Err(StatsError::DimensionMismatch {
                 expected: self.rows,
@@ -188,6 +196,7 @@ impl Matrix {
             });
         }
         let n = self.rows;
+        let threshold = self.singularity_threshold();
         let mut lu = self.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign = 1.0;
@@ -202,7 +211,13 @@ impl Matrix {
                     pivot_row = r;
                 }
             }
-            if pivot_val < 1e-12 {
+            // A NaN pivot means the input held non-finite values; report
+            // that distinctly instead of poisoning the factors (or
+            // misreporting the matrix as singular).
+            if pivot_val.is_nan() {
+                return Err(StatsError::NonFinite);
+            }
+            if pivot_val <= threshold {
                 return Err(StatsError::SingularMatrix);
             }
             if pivot_row != col {
@@ -224,19 +239,15 @@ impl Matrix {
                 }
             }
         }
-        Ok((lu, perm, sign))
+        Ok(LuFactors { lu, perm, sign })
     }
 
-    /// Determinant via LU decomposition. Returns 0.0 for singular matrices.
+    /// Determinant via LU decomposition. Returns 0.0 for singular matrices;
+    /// non-finite input is an error ([`StatsError::NonFinite`]), never a
+    /// confidently-zero answer.
     pub fn determinant(&self) -> Result<f64> {
-        match self.lu_decompose() {
-            Ok((lu, _, sign)) => {
-                let mut det = sign;
-                for i in 0..self.rows {
-                    det *= lu[(i, i)];
-                }
-                Ok(det)
-            }
+        match self.lu() {
+            Ok(factors) => Ok(factors.determinant()),
             Err(StatsError::SingularMatrix) => Ok(0.0),
             Err(e) => Err(e),
         }
@@ -245,20 +256,17 @@ impl Matrix {
     /// Log-determinant (natural log of |det|) via LU; numerically preferable
     /// to `determinant()` for high-dimensional covariance matrices whose
     /// determinant under/overflows. Returns an error if singular.
+    ///
+    /// Callers that also need `solve`/`inverse` should factor once with
+    /// [`Matrix::lu`] and reuse the [`LuFactors`].
     pub fn log_abs_determinant(&self) -> Result<f64> {
-        let (lu, _, _) = self.lu_decompose()?;
-        let mut acc = 0.0;
-        for i in 0..self.rows {
-            let d = lu[(i, i)].abs();
-            if d <= 0.0 {
-                return Err(StatsError::SingularMatrix);
-            }
-            acc += d.ln();
-        }
-        Ok(acc)
+        Ok(self.lu()?.log_abs_determinant())
     }
 
     /// Solve `A x = b` via the LU decomposition of `self`.
+    ///
+    /// One-shot convenience; to solve against several right-hand sides,
+    /// factor once with [`Matrix::lu`] and call [`LuFactors::solve`].
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if b.len() != self.rows {
             return Err(StatsError::DimensionMismatch {
@@ -266,53 +274,22 @@ impl Matrix {
                 actual: b.len(),
             });
         }
-        let (lu, perm, _) = self.lu_decompose()?;
-        let n = self.rows;
-        // Forward substitution on the permuted RHS (L has unit diagonal).
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut acc = b[perm[i]];
-            for j in 0..i {
-                acc -= lu[(i, j)] * y[j];
-            }
-            y[i] = acc;
-        }
-        // Backward substitution through U.
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= lu[(i, j)] * x[j];
-            }
-            x[i] = acc / lu[(i, i)];
-        }
-        Ok(x)
+        self.lu()?.solve(b)
     }
 
-    /// Matrix inverse via LU decomposition (column-by-column solve).
+    /// Matrix inverse via LU decomposition (column-by-column solve over one
+    /// shared factorization).
     pub fn inverse(&self) -> Result<Matrix> {
-        if !self.is_square() {
-            return Err(StatsError::DimensionMismatch {
-                expected: self.rows,
-                actual: self.cols,
-            });
-        }
-        let n = self.rows;
-        let mut out = Matrix::zeros(n, n);
-        let mut unit = vec![0.0; n];
-        for col in 0..n {
-            unit.iter_mut().for_each(|v| *v = 0.0);
-            unit[col] = 1.0;
-            let x = self.solve(&unit)?;
-            for row in 0..n {
-                out[(row, col)] = x[row];
-            }
-        }
-        Ok(out)
+        Ok(self.lu()?.inverse())
     }
 
     /// Cholesky decomposition of a symmetric positive-definite matrix,
     /// returning the lower-triangular factor `L` such that `L Lᵀ = A`.
+    ///
+    /// Rejects matrices whose pivot `L_ii²` falls below the scale-relative
+    /// singularity threshold (or is NaN from overflowed input): those are
+    /// numerically semi-definite and their factors would amplify rounding
+    /// noise unboundedly.
     pub fn cholesky(&self) -> Result<Matrix> {
         if !self.is_square() {
             return Err(StatsError::DimensionMismatch {
@@ -321,6 +298,7 @@ impl Matrix {
             });
         }
         let n = self.rows;
+        let threshold = self.singularity_threshold();
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
@@ -329,7 +307,12 @@ impl Matrix {
                     sum -= l[(i, k)] * l[(j, k)];
                 }
                 if i == j {
-                    if sum <= 0.0 {
+                    // NaN (non-finite input) is reported distinctly; it
+                    // must never reach the factors.
+                    if sum.is_nan() {
+                        return Err(StatsError::NonFinite);
+                    }
+                    if sum <= threshold {
                         return Err(StatsError::SingularMatrix);
                     }
                     l[(i, j)] = sum.sqrt();
@@ -339,6 +322,14 @@ impl Matrix {
             }
         }
         Ok(l)
+    }
+
+    /// Cholesky-decompose this symmetric positive-definite matrix into
+    /// reusable [`CholeskyFactors`].
+    pub fn cholesky_factors(&self) -> Result<CholeskyFactors> {
+        Ok(CholeskyFactors {
+            l: self.cholesky()?,
+        })
     }
 
     /// Add `value` to every diagonal entry (ridge regularization used when a
@@ -353,6 +344,249 @@ impl Matrix {
     /// Maximum absolute entry (used in tests and convergence checks).
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+}
+
+/// A reusable LU factorization of a square, non-singular matrix.
+///
+/// FastMCD's C-step needs the covariance *inverse* (for Mahalanobis
+/// distances) and its *log-determinant* (for the convergence test and the
+/// best-of-restarts merge). Computing each through one-shot [`Matrix`]
+/// methods re-runs the O(d³) decomposition every time — and
+/// [`Matrix::inverse`] used to re-decompose once per *column*, making a
+/// single inversion O(d⁴). Factoring once and deriving every product from
+/// the shared factors makes the whole C-step cost exactly one
+/// decomposition.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// L (unit diagonal, strictly below) and U (on and above the diagonal).
+    lu: Matrix,
+    /// Row permutation applied by partial pivoting.
+    perm: Vec<usize>,
+    /// Permutation parity (+1/-1).
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Size of the factored matrix.
+    pub fn dimension(&self) -> usize {
+        self.lu.rows
+    }
+
+    /// Solve `A x = b` by forward/backward substitution through the factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.lu.rows {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.lu.rows,
+                actual: b.len(),
+            });
+        }
+        let mut x = vec![0.0; b.len()];
+        self.solve_into(b, &mut x);
+        Ok(x)
+    }
+
+    /// [`solve`](LuFactors::solve) into a caller-provided buffer
+    /// (allocation-free; `b` and `x` must both have the factored dimension).
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n, "rhs length must equal the factored dimension");
+        assert_eq!(x.len(), n, "out length must equal the factored dimension");
+        // Forward substitution on the permuted RHS (L has unit diagonal),
+        // writing y into x ...
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            let row = self.lu.row(i);
+            for (j, xj) in x[..i].iter().enumerate() {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc;
+        }
+        // ... then backward substitution through U in place: entries above
+        // `i` are already final when row `i` reads them.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            let row = self.lu.row(i);
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc / row[i];
+        }
+    }
+
+    /// Matrix inverse: one unit-vector solve per column over the shared
+    /// factors — O(d³) total, not O(d⁴).
+    pub fn inverse(&self) -> Matrix {
+        let n = self.lu.rows;
+        let mut out = Matrix::zeros(n, n);
+        let mut unit = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        for col in 0..n {
+            unit.iter_mut().for_each(|v| *v = 0.0);
+            unit[col] = 1.0;
+            self.solve_into(&unit, &mut x);
+            for row in 0..n {
+                out[(row, col)] = x[row];
+            }
+        }
+        out
+    }
+
+    /// Natural log of |det A| — `Σ ln |U_ii|`. Cannot fail: the pivot
+    /// threshold guarantees every diagonal entry is nonzero.
+    pub fn log_abs_determinant(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.lu.rows {
+            acc += self.lu[(i, i)].abs().ln();
+        }
+        acc
+    }
+
+    /// Determinant — permutation parity times `Π U_ii`.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.lu.rows {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// A reusable Cholesky factorization `A = L Lᵀ` of a symmetric
+/// positive-definite matrix.
+///
+/// For SPD input (covariance matrices) this is the fast path: roughly half
+/// the flops of LU, no pivoting, and the log-determinant falls out of the
+/// factor diagonal. Same factor-once contract as [`LuFactors`].
+#[derive(Debug, Clone)]
+pub struct CholeskyFactors {
+    l: Matrix,
+}
+
+impl CholeskyFactors {
+    /// Size of the factored matrix.
+    pub fn dimension(&self) -> usize {
+        self.l.rows
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via `L y = b` then `Lᵀ x = y`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.l.rows {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.l.rows,
+                actual: b.len(),
+            });
+        }
+        let mut x = vec![0.0; b.len()];
+        self.solve_into(b, &mut x);
+        Ok(x)
+    }
+
+    /// [`solve`](CholeskyFactors::solve) into a caller-provided buffer.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.l.rows;
+        assert_eq!(b.len(), n, "rhs length must equal the factored dimension");
+        assert_eq!(x.len(), n, "out length must equal the factored dimension");
+        // Forward substitution through L (non-unit diagonal).
+        for i in 0..n {
+            let mut acc = b[i];
+            let row = self.l.row(i);
+            for (j, xj) in x[..i].iter().enumerate() {
+                acc -= row[j] * xj;
+            }
+            x[i] = acc / row[i];
+        }
+        // Backward substitution through Lᵀ (column access on L).
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.l[(j, i)] * xj;
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+    }
+
+    /// Matrix inverse: one unit-vector solve per column over the shared
+    /// factors.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.l.rows;
+        let mut out = Matrix::zeros(n, n);
+        let mut unit = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        for col in 0..n {
+            unit.iter_mut().for_each(|v| *v = 0.0);
+            unit[col] = 1.0;
+            self.solve_into(&unit, &mut x);
+            for row in 0..n {
+                out[(row, col)] = x[row];
+            }
+        }
+        out
+    }
+
+    /// Natural log of det A — `2 Σ ln L_ii` (an SPD determinant is positive).
+    pub fn log_abs_determinant(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.l.rows {
+            acc += self.l[(i, i)].ln();
+        }
+        2.0 * acc
+    }
+}
+
+/// Factors of a symmetric positive-definite matrix: Cholesky when the
+/// matrix is numerically positive-definite, LU with partial pivoting as the
+/// fallback for merely-invertible (e.g. slightly asymmetric or indefinite
+/// after ridging) input.
+///
+/// This is the decomposition object FastMCD carries through a C-step: one
+/// factorization yields the inverse for the distance pass *and* the
+/// log-determinant for convergence/merging.
+#[derive(Debug, Clone)]
+pub enum SpdFactors {
+    /// Cholesky fast path (SPD input).
+    Cholesky(CholeskyFactors),
+    /// LU fallback (invertible but not numerically SPD).
+    Lu(LuFactors),
+}
+
+impl SpdFactors {
+    /// Factor `m`, preferring Cholesky and falling back to LU. Errors only
+    /// when both report the matrix as numerically singular.
+    pub fn factor(m: &Matrix) -> Result<SpdFactors> {
+        match m.cholesky_factors() {
+            Ok(c) => Ok(SpdFactors::Cholesky(c)),
+            Err(_) => m.lu().map(SpdFactors::Lu),
+        }
+    }
+
+    /// Size of the factored matrix.
+    pub fn dimension(&self) -> usize {
+        match self {
+            SpdFactors::Cholesky(c) => c.dimension(),
+            SpdFactors::Lu(l) => l.dimension(),
+        }
+    }
+
+    /// Matrix inverse from the shared factors.
+    pub fn inverse(&self) -> Matrix {
+        match self {
+            SpdFactors::Cholesky(c) => c.inverse(),
+            SpdFactors::Lu(l) => l.inverse(),
+        }
+    }
+
+    /// Natural log of |det| from the shared factors.
+    pub fn log_abs_determinant(&self) -> f64 {
+        match self {
+            SpdFactors::Cholesky(c) => c.log_abs_determinant(),
+            SpdFactors::Lu(l) => l.log_abs_determinant(),
+        }
     }
 }
 
@@ -406,6 +640,77 @@ pub fn covariance_matrix(rows: &[Vec<f64>]) -> Result<(Vec<f64>, Matrix)> {
         }
     }
     let denom = (rows.len() - 1) as f64;
+    for i in 0..dim {
+        for j in i..dim {
+            cov[(i, j)] /= denom;
+            if i != j {
+                cov[(j, i)] = cov[(i, j)];
+            }
+        }
+    }
+    Ok((means, cov))
+}
+
+/// Sample mean and covariance of the rows of `sample` selected by
+/// `indices`, visited in `indices` order — the arithmetic (and therefore
+/// the bits) matches materializing the selected rows and calling
+/// [`covariance_matrix`], without cloning a single row. FastMCD re-fits a
+/// subset of up to half the sample on *every* C-step, so the clone-free
+/// path matters there.
+///
+/// Indices are bounds-checked and the selected rows length-checked
+/// (typed errors, no panics). Unlike [`covariance_matrix`], rows are *not*
+/// re-scanned for non-finite values — callers like FastMCD validate the
+/// sample once up front; a NaN row yields a NaN covariance, which the
+/// factorization routines reject as [`StatsError::NonFinite`].
+pub fn covariance_of_indices(
+    sample: &[Vec<f64>],
+    indices: &[usize],
+) -> Result<(Vec<f64>, Matrix)> {
+    if indices.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            provided: indices.len(),
+        });
+    }
+    let dim = sample
+        .first()
+        .map(|row| row.len())
+        .ok_or(StatsError::EmptyInput)?;
+    for &idx in indices {
+        let row = sample.get(idx).ok_or_else(|| {
+            StatsError::InvalidParameter(format!(
+                "row index {idx} out of bounds for sample of {} rows",
+                sample.len()
+            ))
+        })?;
+        if row.len() != dim {
+            return Err(StatsError::DimensionMismatch {
+                expected: dim,
+                actual: row.len(),
+            });
+        }
+    }
+    let mut means = vec![0.0; dim];
+    for &idx in indices {
+        for (m, v) in means.iter_mut().zip(sample[idx].iter()) {
+            *m += v;
+        }
+    }
+    let n = indices.len() as f64;
+    means.iter_mut().for_each(|m| *m /= n);
+    let mut cov = Matrix::zeros(dim, dim);
+    for &idx in indices {
+        let row = &sample[idx];
+        for i in 0..dim {
+            let di = row[i] - means[i];
+            for j in i..dim {
+                let dj = row[j] - means[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let denom = (indices.len() - 1) as f64;
     for i in 0..dim {
         for j in i..dim {
             cov[(i, j)] /= denom;
@@ -549,6 +854,169 @@ mod tests {
         assert!(matches!(
             covariance_matrix(&[vec![1.0, 2.0]]),
             Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn small_scaled_matrices_are_not_misreported_as_singular() {
+        // Regression: the old absolute pivot cutoff (1e-12) reported any
+        // well-conditioned matrix with small-scaled entries — e.g. the
+        // covariance of data measured in 1e-7 units, whose entries are
+        // ~1e-14 — as singular (det 0.0, inverse Err). The threshold is now
+        // relative to the matrix scale.
+        let base = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let tiny = base.scale(1e-14);
+        // det(base) = 3, so det(tiny) = 3e-28 — nonzero.
+        let det = tiny.determinant().unwrap();
+        assert!((det - 3e-28).abs() < 1e-37, "det = {det:e}");
+        assert_close(tiny.log_abs_determinant().unwrap(), det.ln(), 1e-9);
+        // The inverse round-trips.
+        let inv = tiny.inverse().unwrap();
+        let prod = tiny.matmul(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_close(prod[(i, j)], if i == j { 1.0 } else { 0.0 }, 1e-9);
+            }
+        }
+        // And an exactly singular matrix at the same scale is still caught.
+        let singular = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).scale(1e-14);
+        assert_close(singular.determinant().unwrap(), 0.0, 1e-40);
+        assert_eq!(singular.inverse(), Err(StatsError::SingularMatrix));
+    }
+
+    #[test]
+    fn cholesky_accepts_small_scales_and_rejects_overflow() {
+        let tiny = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).scale(1e-14);
+        let l = tiny.cholesky().unwrap();
+        let prod = l.matmul(&l.transpose()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_close(prod[(i, j)], tiny[(i, j)], 1e-22);
+            }
+        }
+        // An overflowed (infinite) covariance must be rejected, not
+        // silently factored into NaN.
+        let overflowed = Matrix::from_vec(2, 2, vec![f64::INFINITY, 0.0, 0.0, 1.0]);
+        assert_eq!(overflowed.cholesky(), Err(StatsError::SingularMatrix));
+        assert!(overflowed.lu().is_err());
+    }
+
+    #[test]
+    fn nan_input_is_an_error_not_a_zero_determinant() {
+        // NaN entries mean the input is corrupt, which must surface as
+        // NonFinite — not as "singular" (and certainly not as det 0.0).
+        let poisoned = Matrix::from_vec(2, 2, vec![f64::NAN, 0.0, 0.0, 1.0]);
+        assert_eq!(poisoned.determinant(), Err(StatsError::NonFinite));
+        assert_eq!(poisoned.lu().err(), Some(StatsError::NonFinite));
+        assert_eq!(poisoned.cholesky(), Err(StatsError::NonFinite));
+        assert_eq!(poisoned.inverse(), Err(StatsError::NonFinite));
+    }
+
+    #[test]
+    fn lu_factors_match_single_shot_operations_exactly() {
+        // Regression pin for the factor-once refactor: LuFactors must
+        // reproduce Matrix::{solve, inverse, log_abs_determinant,
+        // determinant} bit-for-bit — same elimination, same substitutions,
+        // shared rather than repeated.
+        let m = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, -2.0, 2.0, 1.0, 2.0, 0.0, 1.0, -2.0, 0.0, 3.0, -2.0, 2.0, 1.0, -2.0,
+                -1.0,
+            ],
+        );
+        let factors = m.lu().unwrap();
+        assert_eq!(factors.dimension(), 4);
+        let b = [1.0, -2.0, 0.5, 3.0];
+        assert_eq!(factors.solve(&b).unwrap(), m.solve(&b).unwrap());
+        assert_eq!(factors.inverse(), m.inverse().unwrap());
+        assert_eq!(
+            factors.log_abs_determinant(),
+            m.log_abs_determinant().unwrap()
+        );
+        assert_eq!(factors.determinant(), m.determinant().unwrap());
+        // solve_into writes the same bits as solve.
+        let mut out = [0.0; 4];
+        factors.solve_into(&b, &mut out);
+        assert_eq!(out.to_vec(), factors.solve(&b).unwrap());
+    }
+
+    #[test]
+    fn cholesky_factors_agree_with_lu_numerically() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 2.0, 2.0, 5.0, 1.0, 2.0, 1.0, 6.0]);
+        let chol = a.cholesky_factors().unwrap();
+        let lu = a.lu().unwrap();
+        assert_eq!(chol.dimension(), 3);
+        assert_close(chol.log_abs_determinant(), lu.log_abs_determinant(), 1e-9);
+        let b = [1.0, 2.0, 3.0];
+        let xc = chol.solve(&b).unwrap();
+        let xl = lu.solve(&b).unwrap();
+        for (c, l) in xc.iter().zip(xl.iter()) {
+            assert_close(*c, *l, 1e-9);
+        }
+        let ic = chol.inverse();
+        let il = lu.inverse();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(ic[(i, j)], il[(i, j)], 1e-9);
+            }
+        }
+        // The SPD dispatcher picks Cholesky here and LU for a non-SPD but
+        // invertible matrix.
+        assert!(matches!(
+            SpdFactors::factor(&a).unwrap(),
+            SpdFactors::Cholesky(_)
+        ));
+        let non_spd = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let f = SpdFactors::factor(&non_spd).unwrap();
+        assert!(matches!(f, SpdFactors::Lu(_)));
+        assert_eq!(f.dimension(), 2);
+        assert_close(f.log_abs_determinant(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn factor_solve_rejects_wrong_length_rhs() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 1.0, 1.0, 2.0]);
+        assert!(matches!(
+            m.lu().unwrap().solve(&[1.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            m.cholesky_factors().unwrap().solve(&[1.0, 2.0, 3.0]),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn covariance_of_indices_matches_materialized_covariance() {
+        let sample = vec![
+            vec![2.0, 8.0],
+            vec![4.0, 10.0],
+            vec![6.0, 12.0],
+            vec![8.0, 14.0],
+            vec![1.0, -3.0],
+        ];
+        let indices = [3usize, 0, 4, 2];
+        let rows: Vec<Vec<f64>> = indices.iter().map(|&i| sample[i].clone()).collect();
+        let (mean_ref, cov_ref) = covariance_matrix(&rows).unwrap();
+        let (mean, cov) = covariance_of_indices(&sample, &indices).unwrap();
+        assert_eq!(mean, mean_ref);
+        assert_eq!(cov, cov_ref);
+        assert!(matches!(
+            covariance_of_indices(&sample, &[0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        // Out-of-range indices and ragged selected rows are typed errors,
+        // not panics.
+        assert!(matches!(
+            covariance_of_indices(&sample, &[0, 99]),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            covariance_of_indices(&ragged, &[0, 1]),
+            Err(StatsError::DimensionMismatch { .. })
         ));
     }
 

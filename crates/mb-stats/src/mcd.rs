@@ -8,15 +8,30 @@
 //! `h` points with smallest Mahalanobis distance under the current fit) until
 //! the determinant stops decreasing, and keep the best run.
 //!
-//! The Mahalanobis-distance pass inside each C-step — the dominant cost of
-//! training — scatters across the shared [`mb_pool`] work-stealing pool for
-//! large samples. The per-row arithmetic is unchanged, so training remains
-//! deterministic and bit-identical at any thread count.
+//! Training parallelizes at two nested levels on the shared [`mb_pool`]
+//! work-stealing pool:
+//!
+//! * **Restarts** — FastMCD's random restarts are embarrassingly parallel:
+//!   each becomes one pool task with a restart-local RNG split
+//!   deterministically from the seed ([`SplitMix64::split`]), and the winner
+//!   is chosen by a deterministic best-of-restarts merge (lowest covariance
+//!   log-determinant, ties broken by restart index).
+//! * **Distance pass** — the Mahalanobis pass inside each C-step, the
+//!   dominant per-iteration cost, scatters row chunks on the same pool
+//!   (nested parallelism: the pool's helping waits let restart tasks fan
+//!   out further).
+//!
+//! Both levels keep per-row/per-restart arithmetic independent of the
+//! schedule, so training is bit-identical at any thread count and pool size.
+//! Each C-step performs exactly one O(d³) matrix factorization
+//! ([`SpdFactors`]: Cholesky for the SPD covariance, LU fallback), from
+//! which the inverse (distance pass) and log-determinant (convergence and
+//! merge) are both derived.
 
-use crate::matrix::{covariance_matrix, Matrix};
+use crate::matrix::{covariance_of_indices, Matrix, SpdFactors};
 use crate::rand_ext::SplitMix64;
 use crate::{Estimator, Result, StatsError};
-use std::sync::Mutex;
+use mb_pool::Pool;
 
 /// Minimum rows per task when the distance pass fans out on the shared
 /// work-stealing pool. Below this (per chunk) the arithmetic is cheaper
@@ -24,48 +39,56 @@ use std::sync::Mutex;
 const DISTANCE_GRAIN: usize = 2048;
 
 /// Squared Mahalanobis distance of `row` under `(mean, inv)`, shared by the
-/// serial scoring path and the parallel C-step distance pass.
-fn squared_distance(inv: &Matrix, mean: &[f64], row: &[f64]) -> Result<f64> {
-    let centered: Vec<f64> = row.iter().zip(mean.iter()).map(|(a, b)| a - b).collect();
-    let transformed = inv.matvec(&centered)?;
-    Ok(centered
-        .iter()
-        .zip(transformed.iter())
-        .map(|(a, b)| a * b)
-        .sum::<f64>())
+/// serial scoring path and the parallel C-step distance pass. `centered` is
+/// caller-provided scratch of dimension length: the kernel is allocation-
+/// free, which matters because it runs once per row per C-step. The
+/// accumulation order matches the original `matvec`-based kernel
+/// bit-for-bit.
+#[inline]
+fn squared_distance(inv: &Matrix, mean: &[f64], row: &[f64], centered: &mut [f64]) -> f64 {
+    debug_assert_eq!(row.len(), mean.len());
+    debug_assert_eq!(centered.len(), mean.len());
+    for ((c, r), m) in centered.iter_mut().zip(row.iter()).zip(mean.iter()) {
+        *c = r - m;
+    }
+    let mut total = 0.0;
+    for (i, &ci) in centered.iter().enumerate() {
+        let row_i = inv.row(i);
+        let transformed: f64 = row_i
+            .iter()
+            .zip(centered.iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        total += ci * transformed;
+    }
+    total
 }
 
 /// Fill `distances` with `(d², row index)` for every row of `sample` under
-/// `(mean, inv)`, scattering chunks onto the global pool when the sample is
-/// large enough to amortize submission. The arithmetic per row is identical
-/// to the serial loop, so results are bit-identical regardless of thread
-/// count.
+/// `(mean, inv)`, scattering chunks onto `pool` when the sample is large
+/// enough to amortize submission. Scratch is per *chunk*, not per row, so
+/// the pass performs O(tasks) allocations instead of O(rows). The
+/// arithmetic per row is identical to the serial loop, so results are
+/// bit-identical regardless of thread count.
 fn distance_pass(
+    pool: &Pool,
     sample: &[Vec<f64>],
     mean: &[f64],
     inv: &Matrix,
     distances: &mut Vec<(f64, usize)>,
-) -> Result<()> {
+) {
     distances.clear();
     distances.resize(sample.len(), (0.0, 0));
-    let first_error: Mutex<Option<StatsError>> = Mutex::new(None);
-    mb_pool::global().parallel_for(distances, DISTANCE_GRAIN, |start, chunk| {
+    pool.parallel_for(distances, DISTANCE_GRAIN, |start, chunk| {
+        let mut centered = vec![0.0; mean.len()];
         for (offset, slot) in chunk.iter_mut().enumerate() {
             let index = start + offset;
-            match squared_distance(inv, mean, &sample[index]) {
-                Ok(d2) => *slot = (d2, index),
-                Err(e) => {
-                    let mut slot = first_error.lock().unwrap();
-                    slot.get_or_insert(e);
-                    return;
-                }
-            }
+            *slot = (
+                squared_distance(inv, mean, &sample[index], &mut centered),
+                index,
+            );
         }
     });
-    match first_error.into_inner().unwrap() {
-        Some(e) => Err(e),
-        None => Ok(()),
-    }
 }
 
 /// Configuration for the FastMCD estimator.
@@ -157,7 +180,8 @@ impl McdEstimator {
                 actual: x.len(),
             });
         }
-        Ok(squared_distance(inv, &self.mean, x)?.max(0.0))
+        let mut centered = vec![0.0; self.mean.len()];
+        Ok(squared_distance(inv, &self.mean, x, &mut centered).max(0.0))
     }
 
     /// Mahalanobis distance (square root of [`squared_mahalanobis`]).
@@ -167,61 +191,121 @@ impl McdEstimator {
         Ok(self.squared_mahalanobis(x)?.sqrt())
     }
 
-    /// Compute mean and covariance of the rows selected by `indices`,
-    /// regularizing the covariance if it is singular.
-    fn fit_subset(sample: &[Vec<f64>], indices: &[usize]) -> Result<(Vec<f64>, Matrix)> {
-        let rows: Vec<Vec<f64>> = indices.iter().map(|&i| sample[i].clone()).collect();
-        let (mean, mut cov) = covariance_matrix(&rows)?;
-        // Ridge-regularize until invertible; degenerate subsets (e.g. repeated
-        // points) otherwise break the C-step.
+    /// Compute mean, covariance, and covariance factors of the rows
+    /// selected by `indices` — without cloning a single row — ridge-
+    /// regularizing the covariance until it factors. The factors are the
+    /// *only* decomposition a C-step performs: the caller derives both the
+    /// inverse and the log-determinant from them.
+    fn fit_subset(
+        sample: &[Vec<f64>],
+        indices: &[usize],
+    ) -> Result<(Vec<f64>, Matrix, SpdFactors)> {
+        let (mean, mut cov) = covariance_of_indices(sample, indices)?;
+        // Ridge-regularize until factorable; degenerate subsets (e.g.
+        // repeated points) otherwise break the C-step.
         let mut ridge = 1e-9;
-        while cov.inverse().is_err() && ridge < 1e3 {
-            cov.add_diagonal(ridge);
-            ridge *= 10.0;
+        loop {
+            match SpdFactors::factor(&cov) {
+                Ok(factors) => return Ok((mean, cov, factors)),
+                Err(e) if ridge >= 1e3 => return Err(e),
+                Err(_) => {
+                    cov.add_diagonal(ridge);
+                    ridge *= 10.0;
+                }
+            }
         }
-        Ok((mean, cov))
     }
 
-    /// One C-step: given a fit, select the `h` points with the smallest
-    /// Mahalanobis distances under that fit. The distance pass — the
-    /// dominant cost of FastMCD training — fans out across the shared
-    /// work-stealing pool for large samples.
+    /// One C-step: given a fit's inverse scatter, select the `h` points
+    /// with the smallest Mahalanobis distances under it. The distance pass
+    /// — the dominant cost of FastMCD training — fans out across `pool`
+    /// for large samples. A NaN distance (a numerically destroyed fit)
+    /// fails the step: silently sorting NaNs used to make the selected
+    /// subset depend on the sort's encounter order.
     fn c_step(
+        pool: &Pool,
         sample: &[Vec<f64>],
         mean: &[f64],
-        cov: &Matrix,
+        inv: &Matrix,
         h: usize,
         distances: &mut Vec<(f64, usize)>,
     ) -> Result<Vec<usize>> {
-        let inv = cov.inverse()?;
-        distance_pass(sample, mean, &inv, distances)?;
-        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        distance_pass(pool, sample, mean, inv, distances);
+        if distances.iter().any(|(d2, _)| d2.is_nan()) {
+            return Err(StatsError::NonFinite);
+        }
+        // Total order (no NaNs remain), stable so equal distances keep
+        // ascending row order.
+        distances.sort_by(|a, b| a.0.total_cmp(&b.0));
         Ok(distances.iter().take(h).map(|&(_, idx)| idx).collect())
     }
 
-    /// Squared Mahalanobis distances of every row of `rows` from the fitted
-    /// distribution, computed in parallel on the shared pool — the same
-    /// pass a C-step performs during training, exposed for batch scoring
-    /// and the hot-path micro-benchmarks.
-    pub fn squared_mahalanobis_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
-        let inv = self
-            .inverse_covariance
-            .as_ref()
-            .ok_or(StatsError::NotTrained)?;
-        if let Some(row) = rows.iter().find(|row| row.len() != self.mean.len()) {
-            return Err(StatsError::DimensionMismatch {
-                expected: self.mean.len(),
-                actual: row.len(),
-            });
+    /// One full FastMCD restart: draw an elemental start with the restart-
+    /// local RNG, then iterate C-steps to convergence. Exactly one matrix
+    /// factorization per C-step (inside [`fit_subset`]); the inverse and
+    /// log-determinant both come from those factors. Any failure —
+    /// unfactorable subset after maximal ridging, NaN distances — fails
+    /// *this restart only*; the caller skips to the next start.
+    ///
+    /// [`fit_subset`]: McdEstimator::fit_subset
+    fn run_restart(
+        config: &FastMcdConfig,
+        pool: &Pool,
+        sample: &[Vec<f64>],
+        dim: usize,
+        h: usize,
+        start_index: usize,
+    ) -> Result<RestartFit> {
+        let n = sample.len();
+        let mut rng = SplitMix64::new(config.seed).split(start_index as u64);
+        // Initial subset: d + 1 random distinct points (FastMCD's elemental
+        // start), falling back to 2 points when the sample is tiny.
+        let init_size = (dim + 1).min(n).max(2);
+        let mut indices: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates to pick `init_size` distinct indices.
+        for i in 0..init_size {
+            let j = i + rng.next_below(n - i);
+            indices.swap(i, j);
         }
-        let mut distances = Vec::new();
-        distance_pass(rows, &self.mean, inv, &mut distances)?;
-        Ok(distances.into_iter().map(|(d2, _)| d2.max(0.0)).collect())
-    }
-}
+        let mut subset: Vec<usize> = indices[..init_size].to_vec();
+        let mut distances: Vec<(f64, usize)> = Vec::with_capacity(n);
 
-impl Estimator for McdEstimator {
-    fn train(&mut self, sample: &[Vec<f64>]) -> Result<()> {
+        let (mut mean, mut cov, mut factors) = Self::fit_subset(sample, &subset)?;
+        let mut logdet = factors.log_abs_determinant();
+
+        for _iter in 0..config.max_iterations {
+            let inv = factors.inverse();
+            subset = Self::c_step(pool, sample, &mean, &inv, h, &mut distances)?;
+            let (new_mean, new_cov, new_factors) = Self::fit_subset(sample, &subset)?;
+            let new_logdet = new_factors.log_abs_determinant();
+            mean = new_mean;
+            cov = new_cov;
+            factors = new_factors;
+            let converged = (logdet - new_logdet).abs() < config.tolerance;
+            logdet = new_logdet;
+            if converged {
+                break;
+            }
+        }
+        Ok(RestartFit {
+            logdet,
+            mean,
+            cov,
+            factors,
+        })
+    }
+
+    /// [`Estimator::train`] on an explicit pool instead of the process-wide
+    /// one. Restarts scatter as pool tasks and each restart's C-step
+    /// distance passes fan out on the same pool (nested parallelism); the
+    /// best-of-restarts merge is by lowest covariance log-determinant with
+    /// ties broken by restart index, so the fit is a pure function of
+    /// `(sample, config)` — bit-identical at any thread count, including
+    /// `Pool::new(1)`.
+    ///
+    /// A failed restart (degenerate beyond ridging, NaN distances) is
+    /// skipped; training errors only when *every* restart fails.
+    pub fn train_on_pool(&mut self, pool: &Pool, sample: &[Vec<f64>]) -> Result<()> {
         let dim = crate::validate_sample(sample)?;
         let n = sample.len();
         // Need enough points for a non-degenerate covariance of a subset.
@@ -242,68 +326,93 @@ impl Estimator for McdEstimator {
         let h = ((n as f64 * self.config.support_fraction).ceil() as usize)
             .max(dim + 1)
             .min(n);
-        let mut rng = SplitMix64::new(self.config.seed);
-        let mut distances: Vec<(f64, usize)> = Vec::with_capacity(n);
 
-        let mut best: Option<(f64, Vec<f64>, Matrix)> = None;
+        // Scatter: one pool task per restart, each with an RNG split
+        // deterministically from the seed by restart index.
+        let config = &self.config;
+        let starts: Vec<usize> = (0..self.config.num_starts.max(1)).collect();
+        let results: Vec<Result<RestartFit>> = pool.map_vec(starts, |start| {
+            Self::run_restart(config, pool, sample, dim, h, start)
+        });
 
-        for _start in 0..self.config.num_starts.max(1) {
-            // Initial subset: d + 1 random distinct points (FastMCD's elemental
-            // start), falling back to h points when the sample is tiny.
-            let init_size = (dim + 1).min(n).max(2);
-            let mut indices: Vec<usize> = (0..n).collect();
-            // Partial Fisher-Yates to pick `init_size` distinct indices.
-            for i in 0..init_size {
-                let j = i + rng.next_below(n - i);
-                indices.swap(i, j);
-            }
-            let mut subset: Vec<usize> = indices[..init_size].to_vec();
-
-            let (mut mean, mut cov) = Self::fit_subset(sample, &subset)?;
-            let mut last_logdet = cov.log_abs_determinant().unwrap_or(f64::INFINITY);
-
-            for _iter in 0..self.config.max_iterations {
-                subset = match Self::c_step(sample, &mean, &cov, h, &mut distances) {
-                    Ok(s) => s,
-                    Err(_) => break,
-                };
-                let (new_mean, new_cov) = Self::fit_subset(sample, &subset)?;
-                let logdet = new_cov.log_abs_determinant().unwrap_or(f64::INFINITY);
-                mean = new_mean;
-                cov = new_cov;
-                if (last_logdet - logdet).abs() < self.config.tolerance {
-                    last_logdet = logdet;
-                    break;
+        // Gather: deterministic best-of-restarts merge — lowest covariance
+        // log-determinant wins; the strict `<` over index order breaks ties
+        // toward the lowest restart index. Failed restarts are skipped;
+        // the first failure is surfaced only if no restart succeeded.
+        let mut best: Option<RestartFit> = None;
+        let mut first_error: Option<StatsError> = None;
+        for result in results {
+            match result {
+                Ok(fit) => {
+                    if best.as_ref().map_or(true, |b| fit.logdet < b.logdet) {
+                        best = Some(fit);
+                    }
                 }
-                last_logdet = logdet;
-            }
-
-            let replace = match &best {
-                None => true,
-                Some((best_logdet, _, _)) => last_logdet < *best_logdet,
-            };
-            if replace {
-                best = Some((last_logdet, mean, cov));
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
             }
         }
-
-        let (_, mean, mut cov) = best.ok_or(StatsError::SingularMatrix)?;
-        // Final safety regularization before inverting for the scoring path.
-        let inv = match cov.inverse() {
-            Ok(inv) => inv,
-            Err(_) => {
-                cov.add_diagonal(1e-6);
-                cov.inverse()?
-            }
+        let Some(fit) = best else {
+            return Err(first_error.unwrap_or(StatsError::SingularMatrix));
         };
-        self.mean = mean;
-        self.covariance = Some(cov);
-        self.inverse_covariance = Some(inv);
+
+        // The winning restart's factors are already the factors of its
+        // (ridged-if-needed) covariance: the scoring inverse reuses them
+        // instead of decomposing a third time.
+        self.mean = fit.mean;
+        self.inverse_covariance = Some(fit.factors.inverse());
+        self.covariance = Some(fit.cov);
         Ok(())
+    }
+
+    /// Squared Mahalanobis distances of every row of `rows` from the fitted
+    /// distribution, computed in parallel on the shared pool — the same
+    /// pass a C-step performs during training, exposed for batch scoring
+    /// and the hot-path micro-benchmarks.
+    pub fn squared_mahalanobis_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let inv = self
+            .inverse_covariance
+            .as_ref()
+            .ok_or(StatsError::NotTrained)?;
+        if let Some(row) = rows.iter().find(|row| row.len() != self.mean.len()) {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.mean.len(),
+                actual: row.len(),
+            });
+        }
+        let mut distances = Vec::new();
+        distance_pass(mb_pool::global(), rows, &self.mean, inv, &mut distances);
+        Ok(distances.into_iter().map(|(d2, _)| d2.max(0.0)).collect())
+    }
+}
+
+/// The outcome of one successful FastMCD restart: the converged fit and
+/// the factors of its covariance (reused for the final scoring inverse).
+struct RestartFit {
+    logdet: f64,
+    mean: Vec<f64>,
+    cov: Matrix,
+    factors: SpdFactors,
+}
+
+impl Estimator for McdEstimator {
+    fn train(&mut self, sample: &[Vec<f64>]) -> Result<()> {
+        self.train_on_pool(mb_pool::global(), sample)
     }
 
     fn score(&self, metrics: &[f64]) -> Result<f64> {
         self.mahalanobis(metrics)
+    }
+
+    fn score_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        // The parallel distance pass, then the same clamp-and-sqrt as
+        // `score` — bit-identical to scoring row by row.
+        Ok(self
+            .squared_mahalanobis_batch(rows)?
+            .into_iter()
+            .map(f64::sqrt)
+            .collect())
     }
 
     fn dimension(&self) -> Option<usize> {
@@ -492,6 +601,158 @@ mod tests {
         b.train(&sample).unwrap();
         assert_eq!(a.location().unwrap(), b.location().unwrap());
         assert_eq!(a.score(&[5.0, 5.0]).unwrap(), b.score(&[5.0, 5.0]).unwrap());
+    }
+
+    #[test]
+    fn trains_on_small_scaled_data() {
+        // Covariance entries of 1e-7-unit data are ~1e-14: the old absolute
+        // pivot threshold misreported them as singular, so the ridge loop
+        // swamped the real covariance with a 1e-9 ridge and scores went
+        // flat. With the scale-relative threshold the fit is correct and a
+        // 10-sigma point scores like one.
+        let mut rng = SplitMix64::new(101);
+        let sample: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![normal(&mut rng, 0.0, 1e-7), normal(&mut rng, 0.0, 1e-7)])
+            .collect();
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let center: Vec<f64> = est.location().unwrap().to_vec();
+        assert!(est.score(&center).unwrap() < 1e-3);
+        let ten_sigma = est.score(&[1e-6, -1e-6]).unwrap();
+        assert!(ten_sigma > 5.0, "10-sigma point scored only {ten_sigma}");
+    }
+
+    #[test]
+    fn c_step_rejects_nan_distances() {
+        // A NaN in the inverse scatter poisons every distance; the C-step
+        // must surface that as an error instead of sorting NaNs into an
+        // encounter-order-dependent subset.
+        let pool = mb_pool::Pool::new(1);
+        let sample = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let inv = Matrix::from_vec(1, 1, vec![f64::NAN]);
+        let mut distances = Vec::new();
+        assert_eq!(
+            McdEstimator::c_step(&pool, &sample, &[0.0], &inv, 2, &mut distances),
+            Err(StatsError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn failed_restarts_are_skipped_not_fatal() {
+        // 40% of the sample sits at ±1e160: any elemental start touching
+        // one of those points overflows its covariance to infinity and the
+        // restart fails. Training must skip such restarts and fit from the
+        // clean ones.
+        let mut rng = SplitMix64::new(77);
+        let mut sample = gaussian_cloud(&mut rng, 120, &[0.0], 1.0);
+        for i in 0..80 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            sample.push(vec![sign * 1e160]);
+        }
+        let config = FastMcdConfig {
+            num_starts: 8,
+            ..FastMcdConfig::default()
+        };
+        // Pin the mixed outcome this sample is built to produce: some
+        // restarts fail (their elemental start hits an overflow point),
+        // some succeed — exercising the skip-and-merge path for real.
+        let n = sample.len();
+        let dim = 1;
+        let h = ((n as f64 * config.support_fraction).ceil() as usize)
+            .max(dim + 1)
+            .min(n);
+        let pool = mb_pool::Pool::new(2);
+        let outcomes: Vec<bool> = (0..config.num_starts)
+            .map(|start| {
+                McdEstimator::run_restart(&config, &pool, &sample, dim, h, start).is_ok()
+            })
+            .collect();
+        assert!(
+            outcomes.iter().any(|&ok| ok) && outcomes.iter().any(|&ok| !ok),
+            "sample should produce both failed and successful restarts, got {outcomes:?}"
+        );
+        let mut est = McdEstimator::new(config);
+        est.train(&sample).unwrap();
+        let loc = est.location().unwrap();
+        assert!(loc[0].abs() < 2.0, "location dragged to {loc:?}");
+    }
+
+    #[test]
+    fn training_errors_only_when_every_restart_fails() {
+        // Every pair of these points is ~1e160 apart, so every subset's
+        // covariance overflows to infinity, every restart fails, and the
+        // first restart error is surfaced.
+        let sample: Vec<Vec<f64>> = (0..40).map(|i| vec![(i + 1) as f64 * 1e160]).collect();
+        let mut est = McdEstimator::with_defaults();
+        assert_eq!(est.train(&sample), Err(StatsError::SingularMatrix));
+        assert!(!est.is_trained());
+    }
+
+    #[test]
+    fn score_batch_matches_per_row_scoring_exactly() {
+        let mut rng = SplitMix64::new(83);
+        let sample = gaussian_cloud(&mut rng, 800, &[0.0, 1.0], 1.0);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let rows = gaussian_cloud(&mut rng, 3_000, &[0.0, 1.0], 2.0);
+        let batch = est.score_batch(&rows).unwrap();
+        for (row, &s) in rows.iter().zip(batch.iter()) {
+            assert_eq!(s, est.score(row).unwrap());
+        }
+    }
+
+    #[test]
+    fn explicit_pools_reproduce_global_pool_training_bitwise() {
+        // 6_000 rows puts every C-step's distance pass over the parallel
+        // grain; restarts also scatter. The fit must be a pure function of
+        // (sample, config): one worker, four workers, and the global pool
+        // must agree to the bit.
+        let mut rng = SplitMix64::new(97);
+        let sample = gaussian_cloud(&mut rng, 6_000, &[3.0, -2.0], 1.5);
+        let mut serial = McdEstimator::with_defaults();
+        let mut wide = McdEstimator::with_defaults();
+        let mut global = McdEstimator::with_defaults();
+        serial
+            .train_on_pool(&mb_pool::Pool::new(1), &sample)
+            .unwrap();
+        wide.train_on_pool(&mb_pool::Pool::new(4), &sample).unwrap();
+        global.train(&sample).unwrap();
+        assert_eq!(serial.location().unwrap(), wide.location().unwrap());
+        assert_eq!(serial.location().unwrap(), global.location().unwrap());
+        assert_eq!(serial.scatter().unwrap(), wide.scatter().unwrap());
+        assert_eq!(serial.scatter().unwrap(), global.scatter().unwrap());
+        assert_eq!(
+            serial.score(&[5.0, 5.0]).unwrap(),
+            wide.score(&[5.0, 5.0]).unwrap()
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+        // Parallel-restart training is bit-identical to serial for any
+        // seed and dimension: location, scatter, and scores all match
+        // between a one-worker pool and a multi-worker pool.
+        #[test]
+        fn parallel_restart_training_is_bit_identical_to_serial(
+            seed in 0u64..1_000,
+            dim in 1usize..4,
+        ) {
+            let mut rng = SplitMix64::new(seed.wrapping_add(0x5EED));
+            let center: Vec<f64> = (0..dim).map(|i| i as f64 - 1.0).collect();
+            let sample = gaussian_cloud(&mut rng, 150, &center, 1.5);
+            let mut serial = McdEstimator::with_defaults();
+            let mut parallel = McdEstimator::with_defaults();
+            serial.train_on_pool(&mb_pool::Pool::new(1), &sample).unwrap();
+            parallel.train_on_pool(&mb_pool::Pool::new(3), &sample).unwrap();
+            proptest::prop_assert_eq!(serial.location().unwrap(), parallel.location().unwrap());
+            proptest::prop_assert_eq!(serial.scatter().unwrap(), parallel.scatter().unwrap());
+            let probe: Vec<f64> = vec![2.5; dim];
+            proptest::prop_assert_eq!(
+                serial.score(&probe).unwrap(),
+                parallel.score(&probe).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -254,6 +254,15 @@ pub(crate) fn execute_one_shot(
         } else {
             Vec::new()
         },
+        outlier_rows: if parts.analysis.retain_outlier_rows {
+            classifications
+                .iter()
+                .enumerate()
+                .filter_map(|(row, c)| c.label.is_outlier().then_some(row))
+                .collect()
+        } else {
+            Vec::new()
+        },
         partition_reports: None,
     };
     Ok((classifications, report))
@@ -421,6 +430,15 @@ pub(crate) fn execute_coordinated(
         } else {
             Vec::new()
         },
+        outlier_rows: if analysis.retain_outlier_rows {
+            labels
+                .iter()
+                .enumerate()
+                .filter_map(|(row, &outlier)| outlier.then_some(row))
+                .collect()
+        } else {
+            Vec::new()
+        },
         partition_reports: None,
     })
 }
@@ -493,6 +511,20 @@ pub(crate) fn execute_naive(
     } else {
         Vec::new()
     };
+    // Partition reports carry partition-local row indices; the unified
+    // report rebases them onto global input order (chunks are contiguous
+    // and in order, so the offset is the running point count).
+    let outlier_rows: Vec<usize> = if parts.analysis.retain_outlier_rows {
+        let mut rows = Vec::new();
+        let mut offset = 0usize;
+        for report in &partition_reports {
+            rows.extend(report.outlier_rows.iter().map(|&row| offset + row));
+            offset += report.num_points;
+        }
+        rows
+    } else {
+        Vec::new()
+    };
 
     Ok(MdpReport {
         explanations: merged,
@@ -500,6 +532,7 @@ pub(crate) fn execute_naive(
         num_outliers,
         score_cutoff: None,
         scores,
+        outlier_rows,
         partition_reports: Some(partition_reports),
     })
 }

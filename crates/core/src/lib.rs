@@ -65,6 +65,7 @@ pub mod presentation;
 pub mod query;
 pub mod streaming;
 pub mod types;
+pub mod wire;
 
 pub use executor::{MdpClassifier, MdpExplainer};
 pub use mb_classify::{Classification, Label};

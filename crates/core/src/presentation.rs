@@ -118,6 +118,7 @@ mod tests {
             num_outliers: 100,
             score_cutoff: Some(3.2),
             scores: vec![],
+            outlier_rows: vec![],
             partition_reports: None,
         }
     }
@@ -147,6 +148,7 @@ mod tests {
             num_outliers: 0,
             score_cutoff: None,
             scores: vec![],
+            outlier_rows: vec![],
             partition_reports: None,
         };
         let text = render_report(&report, 5);

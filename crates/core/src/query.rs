@@ -111,6 +111,13 @@ pub struct AnalysisConfig {
     /// Whether to retain every point's score in the report (Figure 7 needs
     /// this; large runs usually do not). Batch backends only.
     pub retain_scores: bool,
+    /// Whether to retain the input-order indices of outlier-labeled points in
+    /// [`MdpReport::outlier_rows`]. Labeled-workload accuracy harnesses (the
+    /// `quality_matrix` scenario corpus) score point-level precision/recall
+    /// against these. Supported on every backend — unlike full score
+    /// retention, the retained state is bounded by the outlier count, so the
+    /// streaming backend accepts it too.
+    pub retain_outlier_rows: bool,
     /// Whether to skip explanation entirely (Table 2 reports throughput both
     /// with and without explanation).
     pub skip_explanation: bool,
@@ -125,6 +132,7 @@ impl Default for AnalysisConfig {
             training_sample_size: None,
             attribute_names: Vec::new(),
             retain_scores: false,
+            retain_outlier_rows: false,
             skip_explanation: false,
         }
     }
@@ -506,6 +514,14 @@ impl MdpQueryBuilder {
     /// Retain every point's score in the report (Figure 7).
     pub fn retain_scores(mut self) -> Self {
         self.analysis.retain_scores = true;
+        self
+    }
+
+    /// Retain the input-order indices of outlier-labeled points in
+    /// [`MdpReport::outlier_rows`] (accuracy scoring against labeled
+    /// ground truth). Supported on every backend.
+    pub fn retain_outlier_rows(mut self) -> Self {
+        self.analysis.retain_outlier_rows = true;
         self
     }
 

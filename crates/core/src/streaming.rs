@@ -43,6 +43,7 @@ pub(crate) struct StreamingEngine {
     retrain_period: u64,
     seed: u64,
     skip_explanation: bool,
+    retain_outlier_rows: bool,
     rule: Option<RuleClassifier>,
     unsupervised: bool,
     model: Option<StreamingModel>,
@@ -50,6 +51,7 @@ pub(crate) struct StreamingEngine {
     encoder: AttributeEncoder,
     points_seen: u64,
     outliers_seen: u64,
+    outlier_rows: Vec<usize>,
     points_since_decay: u64,
 }
 
@@ -76,6 +78,7 @@ impl StreamingEngine {
             retrain_period: options.retrain_period,
             seed: options.seed,
             skip_explanation: analysis.skip_explanation,
+            retain_outlier_rows: analysis.retain_outlier_rows,
             rule,
             unsupervised,
             model: None,
@@ -83,6 +86,7 @@ impl StreamingEngine {
             encoder,
             points_seen: 0,
             outliers_seen: 0,
+            outlier_rows: Vec::new(),
             points_since_decay: 0,
         }
     }
@@ -135,6 +139,9 @@ impl StreamingEngine {
         }
         if label == Label::Outlier {
             self.outliers_seen += 1;
+            if self.retain_outlier_rows {
+                self.outlier_rows.push((self.points_seen - 1) as usize);
+            }
         }
 
         if !self.skip_explanation {
@@ -209,6 +216,7 @@ impl StreamingEngine {
             num_outliers: self.outliers_seen as usize,
             score_cutoff: cutoff,
             scores: Vec::new(),
+            outlier_rows: self.outlier_rows.clone(),
             partition_reports: None,
         }
     }

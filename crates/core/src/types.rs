@@ -64,7 +64,7 @@ pub struct RenderedExplanation {
 
 /// The output of an MDP query: ranked explanations plus summary statistics
 /// about the run (Section 3.2, stage 5).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MdpReport {
     /// Explanations ranked by risk ratio then support.
     pub explanations: Vec<RenderedExplanation>,
@@ -80,6 +80,15 @@ pub struct MdpReport {
     /// The naïve partitioned backend concatenates partition scores in input
     /// order.
     pub scores: Vec<f64>,
+    /// Input-order indices of the points labeled outliers, when
+    /// [`AnalysisConfig::retain_outlier_rows`] is enabled (empty otherwise).
+    /// This is what labeled-workload accuracy harnesses score point-level
+    /// precision/recall against. Every backend populates it in global input
+    /// order; the naïve partitioned backend's *partition* reports carry
+    /// partition-local indices (matching their partition-local scores).
+    ///
+    /// [`AnalysisConfig::retain_outlier_rows`]: crate::query::AnalysisConfig::retain_outlier_rows
+    pub outlier_rows: Vec<usize>,
     /// Per-partition detail, populated only by the naïve partitioned
     /// backend: one full report per shared-nothing partition, in partition
     /// order (each with its own local score cutoff). `None` for the
@@ -128,6 +137,7 @@ mod tests {
             num_outliers: 2,
             score_cutoff: Some(3.0),
             scores: vec![],
+            outlier_rows: vec![],
             partition_reports: None,
         };
         assert!((report.outlier_fraction() - 0.01).abs() < 1e-12);
@@ -137,6 +147,7 @@ mod tests {
             num_outliers: 0,
             score_cutoff: None,
             scores: vec![],
+            outlier_rows: vec![],
             partition_reports: None,
         };
         assert_eq!(empty.outlier_fraction(), 0.0);

@@ -1,0 +1,399 @@
+//! Wire (de)serialization of [`MdpReport`] over the vendored `serde_json`.
+//!
+//! ROADMAP item 4 (process-boundary scale-out) needs query results and
+//! mergeable state to cross process boundaries; this module is the report
+//! half of that protocol: [`report_to_json`] / [`report_from_json`] convert a
+//! full [`MdpReport`] — explanations with items and statistics, counters,
+//! retained scores and outlier rows, and recursive partition detail — to and
+//! from a [`serde_json::Value`], and [`report_to_string`] /
+//! [`report_from_str`] do the same against JSON text.
+//!
+//! The encoding is loss-free for every representable report: non-finite
+//! statistics (an infinite risk ratio is routine when a combination never
+//! occurs among inliers) are encoded as the strings `"Infinity"`,
+//! `"-Infinity"`, and `"NaN"` because JSON numbers cannot carry them. `NaN`
+//! round-trips structurally but compares unequal to itself, as always.
+//!
+//! ```
+//! use macrobase_core::query::{Executor, MdpQuery};
+//! use macrobase_core::types::Point;
+//! use macrobase_core::wire::{report_from_str, report_to_string};
+//!
+//! let mut points: Vec<Point> = (0..2_000)
+//!     .map(|i| Point::simple(10.0 + (i % 7) as f64 * 0.2, format!("d{}", i % 20)))
+//!     .collect();
+//! for i in 0..20 {
+//!     points[i * 100] = Point::simple(90.0, "d13");
+//! }
+//! let mut query = MdpQuery::with_defaults();
+//! let report = query.execute(&Executor::OneShot, &points).unwrap();
+//! let decoded = report_from_str(&report_to_string(&report)).unwrap();
+//! assert_eq!(decoded, report);
+//! ```
+
+use crate::types::{MdpReport, RenderedExplanation};
+use mb_explain::risk_ratio::ExplanationStats;
+use mb_fpgrowth::Item;
+use serde_json::{Map, Value};
+
+/// Error produced when decoding a report from JSON that does not match the
+/// wire schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Dotted path of the field that failed to decode (e.g.
+    /// `explanations[2].stats.risk_ratio`).
+    pub field: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(field: impl Into<String>, message: impl Into<String>) -> Self {
+        WireError {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error at {}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode an `f64`, representing non-finite values (JSON has no NaN or
+/// infinities) as the strings `"Infinity"` / `"-Infinity"` / `"NaN"`.
+fn f64_to_value(v: f64) -> Value {
+    if v.is_finite() {
+        Value::from(v)
+    } else if v.is_nan() {
+        Value::String("NaN".to_string())
+    } else if v > 0.0 {
+        Value::String("Infinity".to_string())
+    } else {
+        Value::String("-Infinity".to_string())
+    }
+}
+
+fn f64_from_value(value: &Value, field: &str) -> Result<f64, WireError> {
+    if let Some(n) = value.as_f64() {
+        return Ok(n);
+    }
+    match value.as_str() {
+        Some("Infinity") => Ok(f64::INFINITY),
+        Some("-Infinity") => Ok(f64::NEG_INFINITY),
+        Some("NaN") => Ok(f64::NAN),
+        _ => Err(WireError::new(field, "expected a number")),
+    }
+}
+
+fn usize_from_value(value: &Value, field: &str) -> Result<usize, WireError> {
+    let n = value
+        .as_f64()
+        .ok_or_else(|| WireError::new(field, "expected an integer"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(WireError::new(field, "expected a non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+fn array<'a>(value: &'a Value, field: &str) -> Result<&'a [Value], WireError> {
+    match value {
+        Value::Array(items) => Ok(items),
+        _ => Err(WireError::new(field, "expected an array")),
+    }
+}
+
+fn field<'a>(map: &'a Map, field_name: &str, context: &str) -> Result<&'a Value, WireError> {
+    map.get(field_name)
+        .ok_or_else(|| WireError::new(format!("{context}{field_name}"), "missing field"))
+}
+
+fn stats_to_json(stats: &ExplanationStats) -> Value {
+    let mut map = Map::new();
+    map.insert("outlier_count".to_string(), f64_to_value(stats.outlier_count));
+    map.insert("inlier_count".to_string(), f64_to_value(stats.inlier_count));
+    map.insert(
+        "outlier_support".to_string(),
+        f64_to_value(stats.outlier_support),
+    );
+    map.insert("risk_ratio".to_string(), f64_to_value(stats.risk_ratio));
+    map.insert(
+        "total_outliers".to_string(),
+        f64_to_value(stats.total_outliers),
+    );
+    map.insert(
+        "total_inliers".to_string(),
+        f64_to_value(stats.total_inliers),
+    );
+    Value::Object(map)
+}
+
+fn stats_from_json(value: &Value, context: &str) -> Result<ExplanationStats, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected a stats object"))?;
+    let get = |name: &str| -> Result<f64, WireError> {
+        f64_from_value(
+            field(map, name, &format!("{context}."))?,
+            &format!("{context}.{name}"),
+        )
+    };
+    Ok(ExplanationStats {
+        outlier_count: get("outlier_count")?,
+        inlier_count: get("inlier_count")?,
+        outlier_support: get("outlier_support")?,
+        risk_ratio: get("risk_ratio")?,
+        total_outliers: get("total_outliers")?,
+        total_inliers: get("total_inliers")?,
+    })
+}
+
+fn explanation_to_json(explanation: &RenderedExplanation) -> Value {
+    let mut map = Map::new();
+    map.insert(
+        "attributes".to_string(),
+        Value::Array(
+            explanation
+                .attributes
+                .iter()
+                .map(|a| Value::String(a.clone()))
+                .collect(),
+        ),
+    );
+    map.insert(
+        "items".to_string(),
+        Value::Array(explanation.items.iter().map(|&i| Value::from(i)).collect()),
+    );
+    map.insert("stats".to_string(), stats_to_json(&explanation.stats));
+    Value::Object(map)
+}
+
+fn explanation_from_json(
+    value: &Value,
+    context: &str,
+) -> Result<RenderedExplanation, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected an explanation object"))?;
+    let attributes = array(
+        field(map, "attributes", &format!("{context}."))?,
+        &format!("{context}.attributes"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| WireError::new(format!("{context}.attributes[{i}]"), "expected a string"))
+    })
+    .collect::<Result<Vec<String>, WireError>>()?;
+    let items = array(
+        field(map, "items", &format!("{context}."))?,
+        &format!("{context}.items"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| {
+        let item_field = format!("{context}.items[{i}]");
+        let n = usize_from_value(v, &item_field)?;
+        Item::try_from(n).map_err(|_| WireError::new(item_field, "item id out of range"))
+    })
+    .collect::<Result<Vec<Item>, WireError>>()?;
+    let stats = stats_from_json(
+        field(map, "stats", &format!("{context}."))?,
+        &format!("{context}.stats"),
+    )?;
+    Ok(RenderedExplanation {
+        attributes,
+        items,
+        stats,
+    })
+}
+
+/// Encode a report (including recursive partition detail) as a JSON value.
+pub fn report_to_json(report: &MdpReport) -> Value {
+    let mut map = Map::new();
+    map.insert("num_points".to_string(), Value::from(report.num_points));
+    map.insert("num_outliers".to_string(), Value::from(report.num_outliers));
+    map.insert(
+        "score_cutoff".to_string(),
+        match report.score_cutoff {
+            Some(cutoff) => f64_to_value(cutoff),
+            None => Value::Null,
+        },
+    );
+    map.insert(
+        "scores".to_string(),
+        Value::Array(report.scores.iter().map(|&s| f64_to_value(s)).collect()),
+    );
+    map.insert(
+        "outlier_rows".to_string(),
+        Value::Array(report.outlier_rows.iter().map(|&r| Value::from(r)).collect()),
+    );
+    map.insert(
+        "explanations".to_string(),
+        Value::Array(report.explanations.iter().map(explanation_to_json).collect()),
+    );
+    map.insert(
+        "partition_reports".to_string(),
+        match &report.partition_reports {
+            Some(reports) => Value::Array(reports.iter().map(report_to_json).collect()),
+            None => Value::Null,
+        },
+    );
+    Value::Object(map)
+}
+
+/// Decode a report from a JSON value produced by [`report_to_json`].
+pub fn report_from_json(value: &Value) -> Result<MdpReport, WireError> {
+    report_from_json_at(value, "report")
+}
+
+fn report_from_json_at(value: &Value, context: &str) -> Result<MdpReport, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected a report object"))?;
+    let prefix = format!("{context}.");
+    let num_points = usize_from_value(
+        field(map, "num_points", &prefix)?,
+        &format!("{context}.num_points"),
+    )?;
+    let num_outliers = usize_from_value(
+        field(map, "num_outliers", &prefix)?,
+        &format!("{context}.num_outliers"),
+    )?;
+    let score_cutoff = match field(map, "score_cutoff", &prefix)? {
+        Value::Null => None,
+        other => Some(f64_from_value(other, &format!("{context}.score_cutoff"))?),
+    };
+    let scores = array(field(map, "scores", &prefix)?, &format!("{context}.scores"))?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| f64_from_value(v, &format!("{context}.scores[{i}]")))
+        .collect::<Result<Vec<f64>, WireError>>()?;
+    let outlier_rows = array(
+        field(map, "outlier_rows", &prefix)?,
+        &format!("{context}.outlier_rows"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| usize_from_value(v, &format!("{context}.outlier_rows[{i}]")))
+    .collect::<Result<Vec<usize>, WireError>>()?;
+    let explanations = array(
+        field(map, "explanations", &prefix)?,
+        &format!("{context}.explanations"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| explanation_from_json(v, &format!("{context}.explanations[{i}]")))
+    .collect::<Result<Vec<RenderedExplanation>, WireError>>()?;
+    let partition_reports = match field(map, "partition_reports", &prefix)? {
+        Value::Null => None,
+        other => Some(
+            array(other, &format!("{context}.partition_reports"))?
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    report_from_json_at(v, &format!("{context}.partition_reports[{i}]"))
+                })
+                .collect::<Result<Vec<MdpReport>, WireError>>()?,
+        ),
+    };
+    Ok(MdpReport {
+        explanations,
+        num_points,
+        num_outliers,
+        score_cutoff,
+        scores,
+        outlier_rows,
+        partition_reports,
+    })
+}
+
+/// Encode a report as JSON text.
+pub fn report_to_string(report: &MdpReport) -> String {
+    report_to_json(report).to_string()
+}
+
+/// Decode a report from JSON text produced by [`report_to_string`].
+pub fn report_from_str(text: &str) -> Result<MdpReport, WireError> {
+    let value = serde_json::from_str(text)
+        .map_err(|e| WireError::new("report", format!("malformed JSON: {e}")))?;
+    report_from_json(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> MdpReport {
+        MdpReport {
+            explanations: vec![RenderedExplanation {
+                attributes: vec!["device=d\"13\"".to_string(), "version=2.6".to_string()],
+                items: vec![0, 7],
+                stats: ExplanationStats {
+                    outlier_count: 60.0,
+                    inlier_count: 0.0,
+                    outlier_support: 0.6,
+                    risk_ratio: f64::INFINITY,
+                    total_outliers: 100.0,
+                    total_inliers: 9_900.0,
+                },
+            }],
+            num_points: 10_000,
+            num_outliers: 100,
+            score_cutoff: Some(3.25),
+            scores: vec![0.5, 12.75, 0.125],
+            outlier_rows: vec![1, 4_096],
+            partition_reports: None,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let report = sample_report();
+        let decoded = report_from_str(&report_to_string(&report)).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn partition_detail_round_trips_recursively() {
+        let mut outer = sample_report();
+        let mut inner = sample_report();
+        inner.partition_reports = None;
+        inner.score_cutoff = None;
+        outer.partition_reports = Some(vec![inner.clone(), inner]);
+        let decoded = report_from_str(&report_to_string(&outer)).unwrap();
+        assert_eq!(decoded, outer);
+    }
+
+    #[test]
+    fn non_finite_statistics_survive_the_wire() {
+        let mut report = sample_report();
+        report.explanations[0].stats.risk_ratio = f64::NEG_INFINITY;
+        let decoded = report_from_str(&report_to_string(&report)).unwrap();
+        assert_eq!(
+            decoded.explanations[0].stats.risk_ratio,
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn decode_errors_name_the_failing_field() {
+        let mut value = report_to_json(&sample_report());
+        value
+            .as_object_mut()
+            .unwrap()
+            .insert("num_outliers".to_string(), Value::String("many".to_string()));
+        let err = report_from_json(&value).unwrap_err();
+        assert_eq!(err.field, "report.num_outliers");
+
+        let err = report_from_str("{}").unwrap_err();
+        assert!(err.field.starts_with("report."), "{err}");
+        assert_eq!(err.message, "missing field");
+    }
+}

@@ -15,44 +15,12 @@
 //! accuracy half of the figure reproduces fully.
 
 use macrobase_core::query::{AnalysisConfig, Executor, MdpQuery};
-use macrobase_core::types::RenderedExplanation;
 use mb_bench::{
     arg_usize, configure_threads_from_args, emit_json, records_to_points, throughput, timed,
 };
 use mb_explain::ExplanationConfig;
-use mb_ingest::synthetic::{device_f1_score, device_workload, DeviceWorkloadConfig};
-use std::collections::BTreeSet;
-
-/// The set of reported attribute combinations, order-normalized.
-fn combination_set(explanations: &[RenderedExplanation]) -> BTreeSet<Vec<String>> {
-    explanations
-        .iter()
-        .map(|e| {
-            let mut attrs = e.attributes.clone();
-            attrs.sort();
-            attrs
-        })
-        .collect()
-}
-
-/// Jaccard similarity between two sets of attribute combinations.
-fn jaccard(a: &BTreeSet<Vec<String>>, b: &BTreeSet<Vec<String>>) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    let intersection = a.intersection(b).count() as f64;
-    let union = a.union(b).count() as f64;
-    intersection / union
-}
-
-/// Device ids named by a set of explanations (for the F1 metric).
-fn reported_devices(explanations: &[RenderedExplanation]) -> Vec<String> {
-    explanations
-        .iter()
-        .flat_map(|e| e.attributes.iter())
-        .filter_map(|a| a.split('=').nth(1).map(|s| s.to_string()))
-        .collect()
-}
+use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
+use mb_scenario::eval::{combination_set, jaccard, reported_values, value_f1};
 
 /// Scatter `work` over `chunks` with one scoped thread per chunk — the
 /// executor strategy the partitioned modes used before `mb-pool` existed,
@@ -183,7 +151,7 @@ fn main() {
         ] {
             let normalized = baseline / seconds;
             let similarity = jaccard(&combination_set(explanations), &reference_set);
-            let f1 = device_f1_score(&reported_devices(explanations), &workload.outlying_devices);
+            let f1 = value_f1(&reported_values(explanations), &workload.outlying_devices);
             println!(
                 "{partitions:>12} {mode:>13} {seconds:>10.3} {normalized:>13.2} {similarity:>9.3} {f1:>8.3}"
             );

@@ -11,7 +11,8 @@
 use macrobase_core::query::{Executor, MdpQuery};
 use mb_bench::{arg_usize, emit_json, records_to_points};
 use mb_explain::ExplanationConfig;
-use mb_ingest::synthetic::{device_f1_score, device_workload, DeviceWorkloadConfig};
+use mb_ingest::synthetic::{device_workload, DeviceWorkloadConfig};
+use mb_scenario::eval;
 
 fn run_one(num_devices: usize, num_points: usize, label_noise: f64, measurement_noise: f64) -> f64 {
     let outlying_fraction = 0.01;
@@ -39,13 +40,8 @@ fn run_one(num_devices: usize, num_points: usize, label_noise: f64, measurement_
         Ok(r) => r,
         Err(_) => return 0.0,
     };
-    let reported: Vec<String> = report
-        .explanations
-        .iter()
-        .flat_map(|e| e.attributes.iter())
-        .filter_map(|a| a.split('=').nth(1).map(|s| s.to_string()))
-        .collect();
-    device_f1_score(&reported, &workload.outlying_devices)
+    let reported = eval::reported_values(&report.explanations);
+    eval::value_f1(&reported, &workload.outlying_devices)
 }
 
 fn main() {

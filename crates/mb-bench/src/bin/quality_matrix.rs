@@ -1,0 +1,94 @@
+//! The accuracy gate: every labeled scenario through every executor.
+//!
+//! Runs the `mb-scenario` standard corpus (level shift, correlated
+//! multi-metric failure, seasonal drift, cardinality explosion) through all
+//! four `Executor` backends and scores each run against the planted ground
+//! truth: point-level precision/recall/F1 over
+//! `MdpReport::outlier_rows`, plus explanation-level Jaccard against the
+//! guilty attribute combinations. Where the throughput reproductions gate
+//! "is it still fast", this matrix gates "is it still *right*".
+//!
+//! Every metric column is deterministic — seeded generators, fixed
+//! partition counts, single-threaded streaming ingestion — so CI diffs the
+//! JSON rows against a blessed baseline with zero tolerance; only the
+//! `points_per_s` column is volatile.
+//!
+//! Expected shape: one-shot and coordinated agree exactly (coordination is
+//! lossless); naive partitioned degrades wherever the planted mass is not
+//! uniform across partitions (the correlated failure window); streaming
+//! trades a little recall for bounded memory (warmup rows are never
+//! labeled) and adapts through the seasonal drift.
+
+use macrobase_core::query::{Executor, StreamingOptions};
+use mb_bench::{arg_usize, configure_threads_from_args, emit_json, throughput, timed};
+use mb_scenario::{eval, standard_corpus};
+
+/// The four backends under gate. Partition counts are pinned (never 0 =
+/// "one per worker") so reports cannot vary with the host's core count.
+fn executors() -> Vec<(&'static str, Executor)> {
+    vec![
+        ("one_shot", Executor::OneShot),
+        ("coordinated_4", Executor::Coordinated { partitions: 4 }),
+        ("naive_4", Executor::NaivePartitioned { partitions: 4 }),
+        (
+            "streaming",
+            Executor::Streaming {
+                options: StreamingOptions {
+                    reservoir_size: 2_000,
+                    decay_rate: 0.01,
+                    decay_period: 10_000,
+                    retrain_period: 2_000,
+                    seed: 0xE75,
+                },
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let threads = configure_threads_from_args();
+    let scale = arg_usize("--scale", 1);
+    println!("pool workers: {threads}, corpus scale {scale}x");
+    println!(
+        "{:<24} {:<14} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9}",
+        "scenario", "executor", "planted", "flagged", "precision", "recall", "f1", "jaccard"
+    );
+
+    for scenario in standard_corpus(scale) {
+        let generated = scenario.generate();
+        for (executor_name, executor) in executors() {
+            let mut query = scenario.query().expect("scenario query construction failed");
+            let (result, seconds) = timed(|| query.execute(&executor, &generated.points));
+            let report = result.expect("scenario query execution failed");
+            let points = eval::point_metrics(&report.outlier_rows, &generated.truth.outlier_rows);
+            let jaccard =
+                eval::explanation_jaccard(&report.explanations, &generated.truth.guilty_attributes);
+            println!(
+                "{:<24} {:<14} {:>8} {:>8} {:>10.4} {:>8.4} {:>8.4} {:>9.4}",
+                scenario.name(),
+                executor_name,
+                generated.truth.outlier_rows.len(),
+                report.num_outliers,
+                points.precision(),
+                points.recall(),
+                points.f1(),
+                jaccard
+            );
+            emit_json(
+                "quality_matrix",
+                serde_json::json!({
+                    "scenario": scenario.name(),
+                    "executor": executor_name,
+                    "points": report.num_points,
+                    "planted": generated.truth.outlier_rows.len(),
+                    "flagged": report.num_outliers,
+                    "precision": points.precision(),
+                    "recall": points.recall(),
+                    "f1": points.f1(),
+                    "explanation_jaccard": jaccard,
+                    "points_per_s": throughput(report.num_points, seconds),
+                }),
+            );
+        }
+    }
+}

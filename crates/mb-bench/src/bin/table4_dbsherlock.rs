@@ -38,11 +38,7 @@ fn truth_rank(
         .build()
         .expect("query construction failed");
     let report = query.execute(&Executor::OneShot, &points).ok()?;
-    report
-        .explanations
-        .iter()
-        .position(|e| e.attributes.iter().any(|a| a.ends_with(truth)))
-        .map(|idx| idx + 1)
+    mb_scenario::eval::truth_rank(&report.explanations, truth)
 }
 
 fn main() {

@@ -109,26 +109,6 @@ pub fn device_workload(config: &DeviceWorkloadConfig) -> DeviceWorkload {
     }
 }
 
-/// F1 score of a set of reported device ids against the ground truth.
-pub fn device_f1_score(reported: &[String], ground_truth: &[String]) -> f64 {
-    use std::collections::HashSet;
-    let reported: HashSet<&String> = reported.iter().collect();
-    let truth: HashSet<&String> = ground_truth.iter().collect();
-    if reported.is_empty() && truth.is_empty() {
-        return 1.0;
-    }
-    if reported.is_empty() || truth.is_empty() {
-        return 0.0;
-    }
-    let tp = reported.intersection(&truth).count() as f64;
-    if tp == 0.0 {
-        return 0.0;
-    }
-    let precision = tp / reported.len() as f64;
-    let recall = tp / truth.len() as f64;
-    2.0 * precision * recall / (precision + recall)
-}
-
 /// The contamination dataset of Figure 3 / Appendix A: `n` two-dimensional
 /// points, a `contamination` fraction of which are drawn from a uniform
 /// cluster of radius 50 centred at (1000, 1000) while the rest are uniform
@@ -289,18 +269,6 @@ mod tests {
             values.iter().sum::<f64>() / values.len() as f64
         };
         assert!(anomalous_mean > 25.0 && anomalous_mean < 55.0);
-    }
-
-    #[test]
-    fn f1_score_behaviour() {
-        let truth = vec!["a".to_string(), "b".to_string()];
-        assert_eq!(device_f1_score(&truth.clone(), &truth), 1.0);
-        assert_eq!(device_f1_score(&[], &truth), 0.0);
-        assert_eq!(device_f1_score(&["c".to_string()], &truth), 0.0);
-        // One of two recovered, no false positives: P=1, R=0.5, F1=2/3.
-        let partial = device_f1_score(&["a".to_string()], &truth);
-        assert!((partial - 2.0 / 3.0).abs() < 1e-9);
-        assert_eq!(device_f1_score(&[], &[]), 1.0);
     }
 
     #[test]

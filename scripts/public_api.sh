@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Public-API inventory check for the redesigned query surface.
 #
-# Dumps every `pub` item declared in the facade (src/lib.rs) and in
-# macrobase-core (crates/core/src/*.rs) — the crates whose API the
-# MdpQuery/Executor redesign owns — and diffs the inventory against the
+# Dumps every `pub` item declared in the facade (src/lib.rs), in
+# macrobase-core (crates/core/src/*.rs), and in mb-scenario
+# (crates/mb-scenario/src/*.rs) — the crates whose API the
+# MdpQuery/Executor redesign and the accuracy harness own — and diffs the
+# inventory against the
 # blessed snapshot in scripts/public_api.txt. CI runs this so a PR cannot
 # silently add, remove, or rename public surface: an intentional change is
 # re-blessed with `scripts/public_api.sh --bless` and shows up in review as
@@ -20,7 +22,7 @@ cd "$(dirname "$0")/.."
 SNAPSHOT=scripts/public_api.txt
 
 dump() {
-  for f in src/lib.rs crates/core/src/*.rs; do
+  for f in src/lib.rs crates/core/src/*.rs crates/mb-scenario/src/*.rs; do
     awk -v file="$f" '
       function emit(line) {
         sub(/^[ \t]+/, "", line)

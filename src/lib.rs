@@ -24,6 +24,9 @@
 //!   optical-flow features.
 //! * [`ingest`] — CSV ingestion and the synthetic workloads used by the
 //!   paper's evaluation.
+//! * [`scenario`] — labeled fault-injection scenarios with ground truth,
+//!   plus the shared precision/recall/Jaccard metrics
+//!   ([`scenario::eval`]) behind the accuracy harness.
 //! * [`pool`] — the work-stealing execution substrate behind the
 //!   partitioned modes, FastMCD's C-steps, and parallel attribute encoding
 //!   (vendored rayon stand-in; scoped `join`/`parallel_for`/`map_reduce`).
@@ -65,6 +68,7 @@ pub use mb_explain as explain;
 pub use mb_fpgrowth as fpgrowth;
 pub use mb_ingest as ingest;
 pub use mb_pool as pool;
+pub use mb_scenario as scenario;
 pub use mb_sketch as sketch;
 pub use mb_stats as stats;
 pub use mb_transform as transform;

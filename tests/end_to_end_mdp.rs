@@ -1,7 +1,8 @@
 //! Cross-crate integration tests: full MDP pipelines over synthetic
 //! workloads, exercising ingestion, classification, and explanation together.
 
-use macrobase::ingest::synthetic::{device_f1_score, device_workload, DeviceWorkloadConfig};
+use macrobase::ingest::synthetic::{device_workload, DeviceWorkloadConfig};
+use macrobase::scenario::eval;
 use macrobase::prelude::*;
 
 fn workload_points(config: &DeviceWorkloadConfig) -> (Vec<Point>, Vec<String>) {
@@ -16,13 +17,7 @@ fn workload_points(config: &DeviceWorkloadConfig) -> (Vec<Point>, Vec<String>) {
 
 /// Extract the device ids named by a report's explanations.
 fn reported_devices(report: &MdpReport) -> Vec<String> {
-    report
-        .explanations
-        .iter()
-        .flat_map(|e| e.attributes.iter())
-        .filter_map(|a| a.split('=').nth(1))
-        .map(|s| s.to_string())
-        .collect()
+    eval::reported_values(&report.explanations)
 }
 
 #[test]
@@ -41,7 +36,7 @@ fn one_shot_mdp_perfectly_recovers_devices_without_noise() {
         .build()
         .unwrap();
     let report = query.execute(&Executor::OneShot, &points).unwrap();
-    let f1 = device_f1_score(&reported_devices(&report), &truth);
+    let f1 = eval::value_f1(&reported_devices(&report), &truth);
     assert!(f1 > 0.95, "F1 was {f1}");
 }
 
@@ -71,7 +66,7 @@ fn one_shot_mdp_is_resilient_to_moderate_label_noise() {
         .build()
         .unwrap();
     let report = query.execute(&Executor::OneShot, &points).unwrap();
-    let f1 = device_f1_score(&reported_devices(&report), &truth);
+    let f1 = eval::value_f1(&reported_devices(&report), &truth);
     assert!(f1 > 0.8, "F1 under 15% label noise was {f1}");
 }
 
@@ -149,11 +144,7 @@ fn partitioned_execution_preserves_recall_but_not_precision() {
         .unwrap();
 
     let devices_of = |explanations: &[RenderedExplanation]| -> std::collections::HashSet<String> {
-        explanations
-            .iter()
-            .flat_map(|e| e.attributes.iter())
-            .filter_map(|a| a.split('=').nth(1).map(|s| s.to_string()))
-            .collect()
+        eval::reported_values(explanations).into_iter().collect()
     };
     let single_devices = devices_of(&single.explanations);
     let partitioned_devices = devices_of(&partitioned.explanations);

@@ -1,0 +1,66 @@
+//! `MdpReport` survives a trip over the JSON wire, end to end.
+//!
+//! A report produced by a real query — scores retained, outlier rows
+//! retained, per-partition detail populated, risk ratios that are routinely
+//! infinite — must decode back to an equal report. This is the contract
+//! that lets reports cross process boundaries (dashboards, the scale-out
+//! story of Appendix D) without a private re-implementation of the format
+//! at every consumer.
+
+use macrobase::core::wire;
+use macrobase::prelude::*;
+use macrobase::scenario::{eval, LevelShiftScenario, Scenario};
+
+fn report(executor: &Executor) -> MdpReport {
+    let scenario = LevelShiftScenario {
+        num_points: 2_000,
+        ..LevelShiftScenario::default()
+    };
+    let generated = scenario.generate();
+    let mut analysis = scenario.analysis();
+    analysis.retain_scores = !matches!(executor, Executor::Streaming { .. });
+    MdpQuery::new(analysis)
+        .execute(executor, &generated.points)
+        .unwrap()
+}
+
+#[test]
+fn one_shot_report_round_trips() {
+    let original = report(&Executor::OneShot);
+    assert!(!original.scores.is_empty());
+    assert!(!original.outlier_rows.is_empty());
+    // The guilty device never appears among inliers here, so the top
+    // explanation's risk ratio is infinite — the wire format must carry it.
+    assert!(original.explanations.iter().any(|e| e.stats.risk_ratio.is_infinite()));
+
+    let encoded = wire::report_to_string(&original);
+    let decoded = wire::report_from_str(&encoded).unwrap();
+    assert_eq!(decoded, original);
+
+    // A second encode of the decoded report is byte-identical (the format
+    // is canonical: insertion-ordered keys, shortest-roundtrip floats).
+    assert_eq!(wire::report_to_string(&decoded), encoded);
+}
+
+#[test]
+fn naive_partitioned_report_round_trips_with_partition_detail() {
+    let original = report(&Executor::NaivePartitioned { partitions: 3 });
+    let partitions = original.partition_reports.as_ref().unwrap();
+    assert_eq!(partitions.len(), 3);
+    assert!(partitions.iter().all(|p| !p.outlier_rows.is_empty()));
+
+    let decoded = wire::report_from_str(&wire::report_to_string(&original)).unwrap();
+    assert_eq!(decoded, original);
+    // The decoded report is still usable for evaluation, not just display.
+    assert_eq!(
+        eval::point_metrics(&decoded.outlier_rows, &original.outlier_rows).f1(),
+        1.0
+    );
+}
+
+#[test]
+fn streaming_report_round_trips() {
+    let original = report(&Executor::streaming());
+    let decoded = wire::report_from_str(&wire::report_to_string(&original)).unwrap();
+    assert_eq!(decoded, original);
+}

@@ -28,10 +28,10 @@ use mb_classify::rule::{label_or, RuleClassifier};
 use mb_classify::threshold::StaticThreshold;
 use mb_classify::{Classification, Label};
 use mb_explain::batch::BatchExplainer;
-use mb_explain::encoder::{encode_rows_parallel, AttributeEncoder};
+use mb_explain::encoder::{encode_batch_parallel, AttributeEncoder};
 use mb_explain::partition::ExplainState;
 use mb_explain::risk_ratio::rank_explanations;
-use mb_explain::Mergeable;
+use mb_explain::{ItemBatch, Mergeable};
 use mb_fpgrowth::Item;
 use mb_stats::mad::MadEstimator;
 use mb_stats::mcd::McdEstimator;
@@ -115,27 +115,42 @@ impl MdpClassifier {
     fn classify_unsupervised<E: Estimator>(
         &mut self,
         estimator: E,
-        metrics: &[Vec<f64>],
+        flat: &[f64],
+        dim: usize,
     ) -> Result<Vec<Classification>> {
         let mut classifier = BatchClassifier::new(estimator, self.config);
-        let classifications = classifier.classify_batch(metrics)?;
+        let classifications = classifier.classify_batch_flat(flat, dim)?;
         self.cutoff = classifier.threshold().map(|t| t.cutoff());
         Ok(classifications)
     }
 }
 
-impl Classifier for MdpClassifier {
-    fn classify(&mut self, points: &[Point]) -> Result<Vec<Classification>> {
-        let dim = check_dimensions(points)?;
+/// Copy every point's metrics into one contiguous row-major buffer — the
+/// layout the flat classifier/estimator paths consume. One allocation for
+/// the whole batch instead of one clone per point.
+pub(crate) fn flatten_metrics(points: &[Point], dim: usize) -> Vec<f64> {
+    let mut flat = Vec::with_capacity(points.len() * dim);
+    for p in points {
+        flat.extend_from_slice(&p.metrics);
+    }
+    flat
+}
+
+impl MdpClassifier {
+    /// Classify a contiguous row-major metric buffer (`dim` values per row):
+    /// the columnar entry every batch path funnels through. Produces exactly
+    /// the classifications the row-major [`Classifier::classify`] does.
+    pub(crate) fn classify_flat(&mut self, flat: &[f64], dim: usize) -> Result<Vec<Classification>> {
         let mut classifications = if self.unsupervised {
-            let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
             match self.estimator.resolve(dim) {
-                EstimatorKind::Mad => self.classify_unsupervised(MadEstimator::new(), &metrics)?,
+                EstimatorKind::Mad => {
+                    self.classify_unsupervised(MadEstimator::new(), flat, dim)?
+                }
                 EstimatorKind::ZScore => {
-                    self.classify_unsupervised(ZScoreEstimator::new(), &metrics)?
+                    self.classify_unsupervised(ZScoreEstimator::new(), flat, dim)?
                 }
                 EstimatorKind::Mcd => {
-                    self.classify_unsupervised(McdEstimator::with_defaults(), &metrics)?
+                    self.classify_unsupervised(McdEstimator::with_defaults(), flat, dim)?
                 }
                 EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
             }
@@ -146,16 +161,23 @@ impl Classifier for MdpClassifier {
                     score: 0.0,
                     label: Label::Inlier,
                 };
-                points.len()
+                flat.len() / dim
             ]
         };
         if let Some(rule) = &self.rule {
-            for (classification, point) in classifications.iter_mut().zip(points) {
-                classification.label =
-                    label_or(classification.label, rule.classify(&point.metrics));
+            for (classification, row) in classifications.iter_mut().zip(flat.chunks_exact(dim)) {
+                classification.label = label_or(classification.label, rule.classify(row));
             }
         }
         Ok(classifications)
+    }
+}
+
+impl Classifier for MdpClassifier {
+    fn classify(&mut self, points: &[Point]) -> Result<Vec<Classification>> {
+        let dim = check_dimensions(points)?;
+        let flat = flatten_metrics(points, dim);
+        self.classify_flat(&flat, dim)
     }
 }
 
@@ -165,8 +187,9 @@ impl Classifier for MdpClassifier {
 pub struct MdpExplainer {
     encoder: AttributeEncoder,
     config: mb_explain::ExplanationConfig,
-    outlier_txns: Vec<Vec<Item>>,
-    inlier_txns: Vec<Vec<Item>>,
+    batch: ItemBatch,
+    labels: Vec<bool>,
+    scratch: Vec<Item>,
 }
 
 impl MdpExplainer {
@@ -176,27 +199,31 @@ impl MdpExplainer {
         MdpExplainer {
             encoder: encoder_for(analysis),
             config: analysis.explanation,
-            outlier_txns: Vec::new(),
-            inlier_txns: Vec::new(),
+            batch: ItemBatch::new(),
+            labels: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 }
 
 impl Explainer for MdpExplainer {
     fn consume(&mut self, points: &[Point], classifications: &[Classification]) {
+        // Accumulate into the columnar batch: one flat item array + offsets
+        // plus a label per row, instead of one Vec per point. The encode
+        // order (hence id assignment) is identical to the old per-point
+        // push, so rendered explanations cannot drift.
         for (point, classification) in points.iter().zip(classifications) {
-            let items = self.encoder.encode_point(&point.attributes);
-            if classification.label.is_outlier() {
-                self.outlier_txns.push(items);
-            } else {
-                self.inlier_txns.push(items);
-            }
+            self.encoder
+                .encode_point_into(&point.attributes, &mut self.scratch);
+            self.batch.push_row(&self.scratch);
+            self.labels.push(classification.label.is_outlier());
         }
     }
 
     fn explanations(&mut self) -> Vec<RenderedExplanation> {
         let explainer = BatchExplainer::new(self.config);
-        let mut explanations = explainer.explain(&self.outlier_txns, &self.inlier_txns);
+        let labels = &self.labels;
+        let mut explanations = explainer.explain_labeled(&self.batch, |r| labels[r]);
         rank_explanations(&mut explanations);
         explanations
             .into_iter()
@@ -239,9 +266,21 @@ pub(crate) fn execute_one_shot(
     let explanations = if parts.analysis.skip_explanation {
         Vec::new()
     } else {
-        let mut explainer = MdpExplainer::from_analysis(parts.analysis);
-        explainer.consume(points, &classifications);
-        explainer.explanations()
+        // Columnar explanation path: shard the encode pass across the pool
+        // (the first-occurrence-ordered dictionary merge reproduces the ids
+        // a serial pass assigns) and explain straight off the ItemBatch —
+        // strings stop flowing past this point.
+        let analysis = parts.analysis;
+        let mut encoder = encoder_for(analysis);
+        let attribute_rows: Vec<&[String]> =
+            points.iter().map(|p| p.attributes.as_slice()).collect();
+        let batch = encode_batch_parallel(
+            &mut encoder,
+            mb_pool::global(),
+            &attribute_rows,
+            resolve_num_partitions(0),
+        );
+        explain_encoded(analysis, &encoder, &batch, &classifications)
     };
 
     let report = MdpReport {
@@ -268,6 +307,88 @@ pub(crate) fn execute_one_shot(
     Ok((classifications, report))
 }
 
+/// Explain a labeled columnar batch and render against its encoder — the
+/// shared tail of both one-shot entry points.
+fn explain_encoded(
+    analysis: &AnalysisConfig,
+    encoder: &AttributeEncoder,
+    batch: &ItemBatch,
+    classifications: &[Classification],
+) -> Vec<RenderedExplanation> {
+    let explainer = BatchExplainer::new(analysis.explanation);
+    let mut explanations =
+        explainer.explain_labeled(batch, |r| classifications[r].label.is_outlier());
+    rank_explanations(&mut explanations);
+    explanations
+        .into_iter()
+        .map(|e| RenderedExplanation {
+            attributes: encoder.describe(&e.items),
+            items: e.items,
+            stats: e.stats,
+        })
+        .collect()
+}
+
+/// The one-shot engine over a pre-encoded columnar batch: contiguous
+/// row-major metrics plus the [`ItemBatch`] an ingestor produced against
+/// `encoder`. This is the zero-rematerialization fast path of
+/// [`MdpQuery::execute_ingest`](crate::query::MdpQuery::execute_ingest) —
+/// no `Point`s are ever built, yet the report is exactly what
+/// materializing the source and running [`execute_one_shot`] produces
+/// (same ids, same scores, same thresholds).
+pub(crate) fn execute_one_shot_encoded(
+    parts: QueryParts<'_>,
+    flat: &[f64],
+    dim: usize,
+    items: &ItemBatch,
+    encoder: &AttributeEncoder,
+) -> Result<MdpReport> {
+    if items.is_empty() {
+        return Err(PipelineError::EmptyInput);
+    }
+    if dim == 0 {
+        return Err(PipelineError::InvalidConfiguration(
+            "points must have at least one metric".to_string(),
+        ));
+    }
+    debug_assert_eq!(flat.len(), items.len() * dim);
+    let mut classifier =
+        MdpClassifier::with_rule(parts.analysis, parts.rule.cloned(), parts.unsupervised);
+    let classifications = classifier.classify_flat(flat, dim)?;
+    let num_outliers = classifications
+        .iter()
+        .filter(|c| c.label.is_outlier())
+        .count();
+
+    let explanations = if parts.analysis.skip_explanation {
+        Vec::new()
+    } else {
+        explain_encoded(parts.analysis, encoder, items, &classifications)
+    };
+
+    Ok(MdpReport {
+        explanations,
+        num_points: items.len(),
+        num_outliers,
+        score_cutoff: classifier.cutoff(),
+        scores: if parts.analysis.retain_scores {
+            classifications.iter().map(|c| c.score).collect()
+        } else {
+            Vec::new()
+        },
+        outlier_rows: if parts.analysis.retain_outlier_rows {
+            classifications
+                .iter()
+                .enumerate()
+                .filter_map(|(row, c)| c.label.is_outlier().then_some(row))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        partition_reports: None,
+    })
+}
+
 /// Fit once on the global batch, scatter the scoring pass, and cut one
 /// threshold over the merged score vector.
 ///
@@ -280,7 +401,8 @@ pub(crate) fn execute_one_shot(
 /// of a serial loop, preserving coordinated ≡ one-shot byte equality.
 fn coordinated_scores<E: Estimator + Sync>(
     estimator: E,
-    metrics: &[Vec<f64>],
+    flat: &[f64],
+    dim: usize,
     num_partitions: usize,
     analysis: &AnalysisConfig,
 ) -> Result<(Vec<f64>, f64)> {
@@ -291,15 +413,20 @@ fn coordinated_scores<E: Estimator + Sync>(
             training_sample_size: analysis.training_sample_size,
         },
     );
-    classifier.fit(metrics)?;
+    classifier.fit_flat(flat, dim)?;
 
-    // Scatter: partitions score communication-free against the shared model.
+    // Scatter: partitions score communication-free against the shared model,
+    // each over a row-aligned slice of the contiguous metric buffer. Chunk
+    // boundaries cannot perturb results — each row's score is a pure
+    // function of the shared model and that row.
+    let rows = flat.len() / dim;
+    let chunk_rows = rows.div_ceil(num_partitions).max(1);
     let classifier_ref = &classifier;
     let score_chunks: Vec<mb_stats::Result<Vec<f64>>> =
-        scatter(partition_chunks(metrics, num_partitions), |chunk| {
-            classifier_ref.score_batch(chunk)
+        scatter(flat.chunks(chunk_rows * dim).collect(), |chunk| {
+            classifier_ref.score_batch_flat(chunk, dim)
         });
-    let mut scores: Vec<f64> = Vec::with_capacity(metrics.len());
+    let mut scores: Vec<f64> = Vec::with_capacity(rows);
     for chunk in score_chunks {
         scores.extend(chunk?);
     }
@@ -324,17 +451,18 @@ pub(crate) fn execute_coordinated(
     let analysis = parts.analysis;
 
     let (scores, cutoff) = if parts.unsupervised {
-        let metrics: Vec<Vec<f64>> = points.iter().map(|p| p.metrics.clone()).collect();
+        let flat = flatten_metrics(points, dim);
         let (scores, cutoff) = match analysis.estimator.resolve(dim) {
             EstimatorKind::Mad => {
-                coordinated_scores(MadEstimator::new(), &metrics, num_partitions, analysis)?
+                coordinated_scores(MadEstimator::new(), &flat, dim, num_partitions, analysis)?
             }
             EstimatorKind::ZScore => {
-                coordinated_scores(ZScoreEstimator::new(), &metrics, num_partitions, analysis)?
+                coordinated_scores(ZScoreEstimator::new(), &flat, dim, num_partitions, analysis)?
             }
             EstimatorKind::Mcd => coordinated_scores(
                 McdEstimator::with_defaults(),
-                &metrics,
+                &flat,
+                dim,
                 num_partitions,
                 analysis,
             )?,
@@ -382,22 +510,25 @@ pub(crate) fn execute_coordinated(
         let mut encoder = encoder_for(analysis);
         let attribute_rows: Vec<&[String]> =
             points.iter().map(|p| p.attributes.as_slice()).collect();
-        let transactions: Vec<Vec<Item>> = encode_rows_parallel(
+        let batch = encode_batch_parallel(
             &mut encoder,
             mb_pool::global(),
             &attribute_rows,
             num_partitions,
         );
 
-        // Scatter: per-partition pre-render explanation state.
-        let txn_chunks = partition_chunks(&transactions, num_partitions);
-        let label_chunks = partition_chunks(&labels, num_partitions);
-        let work: Vec<(&[Vec<Item>], &[bool])> =
-            txn_chunks.into_iter().zip(label_chunks).collect();
-        let states: Vec<ExplainState> = scatter(work, |(txns, chunk_labels)| {
+        // Scatter: per-partition pre-render explanation state over
+        // contiguous row ranges of the columnar batch.
+        let chunk_rows = batch.len().div_ceil(num_partitions).max(1);
+        let ranges: Vec<(usize, usize)> = (0..batch.len())
+            .step_by(chunk_rows)
+            .map(|start| (start, (start + chunk_rows).min(batch.len())))
+            .collect();
+        let (batch_ref, labels_ref) = (&batch, &labels);
+        let states: Vec<ExplainState> = scatter(ranges, |(start, end)| {
             let mut state = ExplainState::new();
-            for (items, &is_outlier) in txns.iter().zip(chunk_labels.iter()) {
-                state.observe(items, is_outlier);
+            for (r, &label) in labels_ref.iter().enumerate().take(end).skip(start) {
+                state.observe(batch_ref.row(r), label);
             }
             state
         });

@@ -17,10 +17,54 @@
 
 use crate::types::Point;
 use mb_classify::{Classification, Label};
+use mb_explain::{AttributeEncoder, ItemBatch};
 use mb_ingest::csv::{CsvError, CsvQuery, CsvReader};
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
+
+/// One ingested batch in columnar form: a contiguous row-major metric
+/// buffer plus the rows' attributes already dictionary-encoded into an
+/// [`ItemBatch`]. Attribute strings never leave the ingestor — they are
+/// interned into the encoder the caller supplied and flow on as dense item
+/// ids.
+#[derive(Debug, Clone, Default)]
+pub struct EncodedBatch {
+    /// Row-major metric values, [`dim`](EncodedBatch::dim) per row.
+    pub metrics: Vec<f64>,
+    /// Metric dimensionality shared by every row in this batch.
+    pub dim: usize,
+    /// The rows' encoded attribute items, one row per ingested point.
+    pub items: ItemBatch,
+}
+
+impl EncodedBatch {
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Append all of `other`'s rows after this batch's rows. Errors if the
+    /// metric dimensionalities disagree (a malformed source).
+    pub fn append(&mut self, other: &EncodedBatch) -> crate::Result<()> {
+        if self.is_empty() {
+            self.dim = other.dim;
+        } else if other.dim != self.dim {
+            return Err(crate::PipelineError::InconsistentDimensions {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        self.metrics.extend_from_slice(&other.metrics);
+        self.items.append(&other.items);
+        Ok(())
+    }
+}
 
 /// An ingestor produces the initial stream of points from an external source
 /// (`external data source(s) → stream<Point>`).
@@ -30,6 +74,42 @@ pub trait Ingestor {
     /// [`MdpQuery::execute_ingest`](crate::query::MdpQuery::execute_ingest)
     /// fails loudly instead of silently reporting over truncated data.
     fn next_batch(&mut self) -> crate::Result<Option<Vec<Point>>>;
+
+    /// Produce the next batch in columnar, pre-encoded form: metrics in one
+    /// flat buffer, attributes interned into `encoder` as an [`ItemBatch`].
+    ///
+    /// The default adapts [`next_batch`](Ingestor::next_batch), so every
+    /// ingestor gets the columnar surface; sources that can encode straight
+    /// from their wire format (CSV, scenario corpora) override it to skip
+    /// materializing `Point`s entirely. Encoding order must equal point
+    /// order so dictionary ids match a serial `encode_point` pass.
+    fn next_encoded_batch(
+        &mut self,
+        encoder: &mut AttributeEncoder,
+    ) -> crate::Result<Option<EncodedBatch>> {
+        let Some(points) = self.next_batch()? else {
+            return Ok(None);
+        };
+        let dim = points.first().map(|p| p.dimension()).unwrap_or(0);
+        let mut batch = EncodedBatch {
+            metrics: Vec::with_capacity(points.len() * dim),
+            dim,
+            items: ItemBatch::with_capacity(points.len(), 2),
+        };
+        let mut scratch = Vec::new();
+        for p in &points {
+            if p.dimension() != dim {
+                return Err(crate::PipelineError::InconsistentDimensions {
+                    expected: dim,
+                    actual: p.dimension(),
+                });
+            }
+            batch.metrics.extend_from_slice(&p.metrics);
+            encoder.encode_point_into(&p.attributes, &mut scratch);
+            batch.items.push_row(&scratch);
+        }
+        Ok(Some(batch))
+    }
 }
 
 /// A transformer rewrites points without changing the stream type
@@ -205,6 +285,40 @@ impl<R: BufRead> Ingestor for CsvIngestor<R> {
         while batch.len() < self.batch_size {
             match self.reader.next_record() {
                 Ok(Some(record)) => batch.push(Point::new(record.metrics, record.attributes)),
+                Ok(None) => break,
+                Err(e) => return Err(crate::PipelineError::Ingest(Box::new(e))),
+            }
+        }
+        if batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(batch))
+        }
+    }
+
+    /// CSV rows encode straight off the parsed record — no `Point` (and no
+    /// per-point attribute `Vec<String>` survival past this frame).
+    fn next_encoded_batch(
+        &mut self,
+        encoder: &mut AttributeEncoder,
+    ) -> crate::Result<Option<EncodedBatch>> {
+        let mut batch = EncodedBatch::default();
+        let mut scratch = Vec::new();
+        while batch.len() < self.batch_size {
+            match self.reader.next_record() {
+                Ok(Some(record)) => {
+                    if batch.is_empty() {
+                        batch.dim = record.metrics.len();
+                    } else if record.metrics.len() != batch.dim {
+                        return Err(crate::PipelineError::InconsistentDimensions {
+                            expected: batch.dim,
+                            actual: record.metrics.len(),
+                        });
+                    }
+                    batch.metrics.extend_from_slice(&record.metrics);
+                    encoder.encode_point_into(&record.attributes, &mut scratch);
+                    batch.items.push_row(&scratch);
+                }
                 Ok(None) => break,
                 Err(e) => return Err(crate::PipelineError::Ingest(Box::new(e))),
             }

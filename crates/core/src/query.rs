@@ -50,7 +50,10 @@
 //! assert_eq!(scaled.num_outliers, report.num_outliers);
 //! ```
 
-use crate::executor::{execute_coordinated, execute_naive, execute_one_shot, QueryParts};
+use crate::executor::{
+    encoder_for, execute_coordinated, execute_naive, execute_one_shot, execute_one_shot_encoded,
+    QueryParts,
+};
 use crate::operator::{Ingestor, Transformer};
 use crate::streaming::StreamingEngine;
 use crate::types::{MdpReport, Point};
@@ -396,6 +399,23 @@ impl MdpQuery {
                     return Err(PipelineError::EmptyInput);
                 }
                 Ok(engine.report())
+            }
+            // One-shot with no transformer chain is the columnar fast path:
+            // ingest pre-encoded batches (metrics flat, attributes interned
+            // straight into the query's dictionary) and never materialize a
+            // `Point`. Encoding order equals ingestion order, so the report
+            // — ids, scores, threshold, explanations — is exactly what the
+            // materializing path below produces.
+            Executor::OneShot if self.transformers.is_empty() => {
+                let mut encoder = encoder_for(&self.analysis);
+                let mut all = crate::operator::EncodedBatch::default();
+                while let Some(batch) = source.next_encoded_batch(&mut encoder)? {
+                    all.append(&batch)?;
+                }
+                if all.is_empty() {
+                    return Err(PipelineError::EmptyInput);
+                }
+                execute_one_shot_encoded(self.parts(), &all.metrics, all.dim, &all.items, &encoder)
             }
             batch_executor => {
                 let mut all = Vec::new();

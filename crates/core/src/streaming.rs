@@ -49,6 +49,9 @@ pub(crate) struct StreamingEngine {
     model: Option<StreamingModel>,
     explainer: StreamingExplainer,
     encoder: AttributeEncoder,
+    /// Reused per-point item buffer: the hot observe loop encodes into this
+    /// instead of allocating a fresh `Vec<Item>` per point.
+    encode_scratch: Vec<mb_fpgrowth::Item>,
     points_seen: u64,
     outliers_seen: u64,
     outlier_rows: Vec<usize>,
@@ -84,6 +87,7 @@ impl StreamingEngine {
             model: None,
             explainer,
             encoder,
+            encode_scratch: Vec::new(),
             points_seen: 0,
             outliers_seen: 0,
             outlier_rows: Vec::new(),
@@ -145,8 +149,10 @@ impl StreamingEngine {
         }
 
         if !self.skip_explanation {
-            let items = self.encoder.encode_point(&point.attributes);
-            self.explainer.observe(&items, label == Label::Outlier);
+            self.encoder
+                .encode_point_into(&point.attributes, &mut self.encode_scratch);
+            self.explainer
+                .observe(&self.encode_scratch, label == Label::Outlier);
         }
 
         if self.points_since_decay >= self.decay_period {

@@ -106,12 +106,13 @@ impl MdpReport {
         }
     }
 
-    /// The attribute strings of the top-`k` explanations (presentation order).
-    pub fn top_attributes(&self, k: usize) -> Vec<Vec<String>> {
+    /// The attribute strings of the top-`k` explanations (presentation
+    /// order), borrowed from the report — no per-explanation clone.
+    pub fn top_attributes(&self, k: usize) -> Vec<&[String]> {
         self.explanations
             .iter()
             .take(k)
-            .map(|e| e.attributes.clone())
+            .map(|e| e.attributes.as_slice())
             .collect()
     }
 }

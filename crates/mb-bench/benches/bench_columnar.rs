@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the columnar hot path: the attribute
+//! encode pass (serial vs sharded-parallel into an [`ItemBatch`]) and
+//! FP-growth mining on the arena tree (unbounded vs risk-ratio-bounded).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mb_explain::encoder::{encode_batch_parallel, AttributeEncoder};
+use mb_explain::risk_ratio::risk_ratio_from_totals;
+use mb_fpgrowth::fptree::FpTree;
+use mb_fpgrowth::Item;
+use mb_stats::rand_ext::{SplitMix64, Zipf};
+
+/// Attribute rows shaped like the sensor workloads: a high-cardinality id
+/// column, a mid-cardinality version column, and a low-cardinality model
+/// column.
+fn attribute_rows(n: usize) -> Vec<Vec<String>> {
+    let mut rng = SplitMix64::new(11);
+    let zipf = Zipf::new(5_000, 1.1);
+    (0..n)
+        .map(|_| {
+            vec![
+                format!("device-{}", zipf.sample(&mut rng)),
+                format!("v{}.{}", zipf.sample(&mut rng) % 4, zipf.sample(&mut rng) % 30),
+                format!("model-{}", zipf.sample(&mut rng) % 12),
+            ]
+        })
+        .collect()
+}
+
+fn transactions(n: usize) -> Vec<Vec<Item>> {
+    let mut rng = SplitMix64::new(7);
+    let zipf = Zipf::new(2_000, 1.1);
+    (0..n)
+        .map(|i| {
+            if i % 10 < 3 {
+                vec![1, 2, 4_000 + zipf.sample(&mut rng) as Item]
+            } else {
+                vec![
+                    10 + zipf.sample(&mut rng) as Item % 50,
+                    2_000 + zipf.sample(&mut rng) as Item,
+                    4_000 + zipf.sample(&mut rng) as Item,
+                ]
+            }
+        })
+        .collect()
+}
+
+fn encode_pass(c: &mut Criterion) {
+    let rows = attribute_rows(200_000);
+    let mut group = c.benchmark_group("encode_pass");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function("serial_encode_point_into", |b| {
+        b.iter(|| {
+            let mut encoder = AttributeEncoder::new();
+            let mut batch = mb_explain::ItemBatch::with_capacity(rows.len(), 3);
+            let mut scratch = Vec::new();
+            for row in &rows {
+                encoder.encode_point_into(row, &mut scratch);
+                batch.push_row(&scratch);
+            }
+            batch.num_items()
+        })
+    });
+    group.bench_function("sharded_encode_batch_parallel", |b| {
+        b.iter(|| {
+            let mut encoder = AttributeEncoder::new();
+            encode_batch_parallel(&mut encoder, mb_pool::global(), &rows, 0).num_items()
+        })
+    });
+    group.finish();
+}
+
+fn fpgrowth_mining(c: &mut Criterion) {
+    let txns = transactions(100_000);
+    let tree = FpTree::from_transactions(&txns, 100.0);
+    let total_outliers = txns.len() as f64;
+    let total_inliers = 10.0 * total_outliers;
+    let mut group = c.benchmark_group("fpgrowth_mining");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(txns.len() as u64));
+    group.bench_function("build_arena_tree", |b| {
+        b.iter(|| FpTree::from_transactions(&txns, 100.0).node_count())
+    });
+    group.bench_function("mine_unbounded", |b| {
+        b.iter(|| tree.mine(100.0, 3).len())
+    });
+    group.bench_function("mine_risk_ratio_bounded", |b| {
+        b.iter(|| {
+            tree.mine_with_bound(100.0, 3, |support| {
+                risk_ratio_from_totals(support, 0.0, total_outliers, total_inliers) >= 3.0
+            })
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, encode_pass, fpgrowth_mining);
+criterion_main!(benches);

@@ -34,6 +34,7 @@ fn is_volatile(key: &str) -> bool {
     key == "seconds"
         || key.ends_with("_seconds")
         || key.ends_with("_per_s")
+        || key.ends_with("_per_second")
         || key.ends_with("_us")
         || key.contains("throughput")
         || key.contains("speedup")

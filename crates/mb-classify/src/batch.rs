@@ -82,6 +82,41 @@ impl<E: Estimator> BatchClassifier<E> {
         }
     }
 
+    /// Train the estimator on `rows` metric vectors stored contiguously
+    /// (row-major, `dim` values per row), honoring the configured training
+    /// sample cap. The strided subsample is the same rows [`fit`] would
+    /// select (`stride = rows.div_ceil(k)`, every `stride`-th row), so a
+    /// flat caller trains exactly the model the row-major path trains.
+    ///
+    /// [`fit`]: BatchClassifier::fit
+    pub fn fit_flat(&mut self, flat: &[f64], dim: usize) -> Result<()> {
+        if flat.is_empty() || dim == 0 || flat.len() % dim != 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(0.0..=1.0).contains(&self.config.target_percentile) {
+            return Err(StatsError::InvalidParameter(format!(
+                "target percentile must be in [0, 1], got {}",
+                self.config.target_percentile
+            )));
+        }
+        let rows = flat.len() / dim;
+        // Stay flat end to end: a strided sample is copied into one
+        // contiguous buffer, the full-batch case trains on the input
+        // directly, and `train_flat` only materializes row vectors for
+        // estimators without a columnar fit.
+        match self.config.training_sample_size {
+            Some(k) if k > 0 && k < rows => {
+                let stride = rows.div_ceil(k);
+                let mut sample: Vec<f64> = Vec::with_capacity(rows.div_ceil(stride) * dim);
+                for row in flat.chunks_exact(dim).step_by(stride) {
+                    sample.extend_from_slice(row);
+                }
+                self.estimator.train_flat(&sample, dim)
+            }
+            _ => self.estimator.train_flat(flat, dim),
+        }
+    }
+
     /// Score a single point with the fitted model, without classifying it
     /// (no threshold required, unlike [`classify_point`]).
     ///
@@ -99,6 +134,33 @@ impl<E: Estimator> BatchClassifier<E> {
     /// [`score_point`]: BatchClassifier::score_point
     pub fn score_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
         self.estimator.score_batch(rows)
+    }
+
+    /// Score `rows` metric vectors stored contiguously (row-major, `dim`
+    /// values per row) through [`Estimator::score_batch_flat`] — the
+    /// columnar twin of [`score_batch`], returning exactly the scores
+    /// row-by-row [`score_point`] would.
+    ///
+    /// [`score_batch`]: BatchClassifier::score_batch
+    /// [`score_point`]: BatchClassifier::score_point
+    pub fn score_batch_flat(&self, flat: &[f64], dim: usize) -> Result<Vec<f64>> {
+        self.estimator.score_batch_flat(flat, dim)
+    }
+
+    /// Train, threshold, score, and label a contiguous row-major metric
+    /// buffer: the columnar twin of [`classify_batch`], producing identical
+    /// classifications for the same rows.
+    ///
+    /// [`classify_batch`]: BatchClassifier::classify_batch
+    pub fn classify_batch_flat(&mut self, flat: &[f64], dim: usize) -> Result<Vec<Classification>> {
+        self.fit_flat(flat, dim)?;
+        let scores: Vec<f64> = self.estimator.score_batch_flat(flat, dim)?;
+        let threshold = StaticThreshold::from_scores(&scores, self.config.target_percentile)?;
+        self.threshold = Some(threshold);
+        Ok(scores
+            .into_iter()
+            .map(|score| threshold.classify(score))
+            .collect())
     }
 
     /// Install an externally computed threshold — e.g. the global percentile
@@ -317,6 +379,39 @@ mod tests {
         for (row, &s) in metrics.iter().zip(batch.iter()) {
             assert_eq!(s, c.score_point(row).unwrap());
         }
+    }
+
+    #[test]
+    fn classify_batch_flat_is_exactly_classify_batch() {
+        // Including the strided training subsample: the flat path must pick
+        // the same sample rows, hence the same model, scores, and labels.
+        let mut rng = SplitMix64::new(8);
+        let mut metrics: Vec<Vec<f64>> = (0..9_973)
+            .map(|_| vec![normal(&mut rng, 10.0, 1.0)])
+            .collect();
+        for i in 0..90 {
+            metrics[i * 110] = vec![normal(&mut rng, 70.0, 1.0)];
+        }
+        let config = BatchClassifierConfig {
+            target_percentile: 0.99,
+            training_sample_size: Some(701),
+        };
+        let mut rowwise = BatchClassifier::new(MadEstimator::new(), config);
+        let expected = rowwise.classify_batch(&metrics).unwrap();
+
+        let flat: Vec<f64> = metrics.iter().flatten().copied().collect();
+        let mut columnar = BatchClassifier::new(MadEstimator::new(), config);
+        let got = columnar.classify_batch_flat(&flat, 1).unwrap();
+
+        assert_eq!(expected.len(), got.len());
+        for (e, g) in expected.iter().zip(got.iter()) {
+            assert_eq!(e.label, g.label);
+            assert_eq!(e.score, g.score);
+        }
+        assert_eq!(
+            rowwise.threshold().unwrap().cutoff(),
+            columnar.threshold().unwrap().cutoff()
+        );
     }
 
     #[test]

@@ -9,12 +9,13 @@
 //! one more restricted pass over the inliers to compute combination risk
 //! ratios. The naïve baseline instead mines both classes in full.
 
+use crate::items::ItemBatch;
 use crate::partition::ExplainState;
 use crate::risk_ratio::{risk_ratio_from_totals, Explanation, ExplanationStats};
 use crate::ExplanationConfig;
 use mb_fpgrowth::fptree::FpTree;
 use mb_fpgrowth::{FrequentItemset, Item};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// The outlier-aware batch explainer (Algorithm 2).
 #[derive(Debug, Clone)]
@@ -38,6 +39,32 @@ impl BatchExplainer {
         self.explain_weighted(
             &weighted_outliers,
             &weighted_inliers,
+            outliers.len() as f64,
+            inliers.len() as f64,
+        )
+    }
+
+    /// Produce explanations for one columnar batch of encoded rows, where
+    /// `outlier(r)` says whether row `r` was labeled an outlier. Every row
+    /// counts toward its class total (attribute-less rows included), exactly
+    /// as [`explain`](BatchExplainer::explain) over split transaction lists.
+    pub fn explain_labeled(
+        &self,
+        rows: &ItemBatch,
+        outlier: impl Fn(usize) -> bool,
+    ) -> Vec<Explanation> {
+        let mut outliers: Vec<(&[Item], f64)> = Vec::new();
+        let mut inliers: Vec<(&[Item], f64)> = Vec::new();
+        for (r, row) in rows.iter().enumerate() {
+            if outlier(r) {
+                outliers.push((row, 1.0));
+            } else {
+                inliers.push((row, 1.0));
+            }
+        }
+        self.explain_weighted(
+            &outliers,
+            &inliers,
             outliers.len() as f64,
             inliers.len() as f64,
         )
@@ -74,56 +101,104 @@ impl BatchExplainer {
         total_outliers: f64,
         total_inliers: f64,
     ) -> Vec<Explanation> {
+        self.explain_weighted_impl(outliers, inliers, total_outliers, total_inliers, true)
+    }
+
+    /// `explain_weighted` with the risk-ratio-ceiling pruning made optional so
+    /// tests can pin pruned ≡ unpruned. The ceiling for a (combination of)
+    /// attribute value(s) with outlier support `s` is its risk ratio assuming
+    /// zero inlier occurrences — `risk_ratio_from_totals(s, 0, to, ti)` —
+    /// which bounds the actual ratio from above and is nondecreasing in `s`.
+    /// Anything whose ceiling misses `min_risk_ratio` would be discarded by
+    /// the final actual-ratio filter anyway, so pruning on the ceiling (at
+    /// candidate selection and inside FP-growth, where extension support can
+    /// only shrink) is output-identical by construction.
+    fn explain_weighted_impl(
+        &self,
+        outliers: &[(&[Item], f64)],
+        inliers: &[(&[Item], f64)],
+        total_outliers: f64,
+        total_inliers: f64,
+        prune: bool,
+    ) -> Vec<Explanation> {
         if total_outliers <= 0.0 {
             return Vec::new();
         }
         let min_outlier_count = (self.config.min_support * total_outliers).max(1.0);
+        let min_risk_ratio = self.config.min_risk_ratio;
+        let ceiling = |support: f64| {
+            risk_ratio_from_totals(support, 0.0, total_outliers, total_inliers) >= min_risk_ratio
+        };
 
-        // Stage 1a: count single attribute values over the (small) outlier set.
-        let mut outlier_singles: HashMap<Item, f64> = HashMap::new();
+        // Stage 1a: count single attribute values over the (small) outlier
+        // set. Per-item occurrences are gathered and aggregated by a stable
+        // sort over (item, weight) pairs — within one item, weights still sum
+        // in transaction order, so weighted totals are bit-identical to a
+        // map-based accumulation.
+        let mut outlier_pairs: Vec<(Item, f64)> = Vec::new();
+        let mut seen: Vec<Item> = Vec::new();
         for (transaction, weight) in outliers {
-            let mut seen: Vec<Item> = transaction.to_vec();
+            seen.clear();
+            seen.extend_from_slice(transaction);
             seen.sort_unstable();
             seen.dedup();
-            for item in seen {
-                *outlier_singles.entry(item).or_insert(0.0) += weight;
+            for &item in &seen {
+                outlier_pairs.push((item, *weight));
             }
         }
-        let supported_singles: HashSet<Item> = outlier_singles
+        outlier_pairs.sort_by_key(|&(item, _)| item);
+        let mut outlier_singles: Vec<(Item, f64)> = Vec::new();
+        for (item, weight) in outlier_pairs {
+            match outlier_singles.last_mut() {
+                Some(last) if last.0 == item => last.1 += weight,
+                _ => outlier_singles.push((item, weight)),
+            }
+        }
+        // Candidates stay sorted by item id, so every later membership test
+        // is a binary search over this small vector — no hashing anywhere on
+        // the inlier-scan hot path.
+        let candidates: Vec<(Item, f64)> = outlier_singles
             .iter()
-            .filter(|(_, &count)| count >= min_outlier_count)
-            .map(|(&item, _)| item)
+            .copied()
+            .filter(|&(_, count)| count >= min_outlier_count && (!prune || ceiling(count)))
             .collect();
-        if supported_singles.is_empty() {
+        if candidates.is_empty() {
             return Vec::new();
         }
+        let candidate_items: Vec<Item> = candidates.iter().map(|&(item, _)| item).collect();
 
         // Stage 1b: one pass over the inliers counting ONLY the supported
         // candidates (this is the cardinality-aware pruning).
-        let mut inlier_singles: HashMap<Item, f64> = HashMap::new();
+        let mut candidate_inlier_counts: Vec<f64> = vec![0.0; candidates.len()];
+        let mut seen_pos: Vec<usize> = Vec::new();
         for (transaction, weight) in inliers {
-            let mut seen: Vec<Item> = transaction
-                .iter()
-                .copied()
-                .filter(|item| supported_singles.contains(item))
-                .collect();
-            seen.sort_unstable();
-            seen.dedup();
-            for item in seen {
-                *inlier_singles.entry(item).or_insert(0.0) += weight;
+            seen_pos.clear();
+            seen_pos.extend(
+                transaction
+                    .iter()
+                    .filter_map(|item| candidate_items.binary_search(item).ok()),
+            );
+            seen_pos.sort_unstable();
+            seen_pos.dedup();
+            for &pos in &seen_pos {
+                candidate_inlier_counts[pos] += weight;
             }
         }
 
-        // Stage 1c: filter candidates by single-item risk ratio.
-        let surviving: HashSet<Item> = supported_singles
+        // Stage 1c: filter candidates by single-item risk ratio (sorted
+        // order is preserved).
+        let surviving: Vec<Item> = candidates
             .iter()
-            .copied()
-            .filter(|item| {
-                let ao = outlier_singles[item];
-                let ai = inlier_singles.get(item).copied().unwrap_or(0.0);
-                risk_ratio_from_totals(ao, ai, total_outliers, total_inliers)
-                    >= self.config.min_risk_ratio
+            .enumerate()
+            .filter(|&(pos, &(_, ao))| {
+                risk_ratio_from_totals(
+                    ao,
+                    candidate_inlier_counts[pos],
+                    total_outliers,
+                    total_inliers,
+                ) >= self.config.min_risk_ratio
             })
+            .map(|(_, &(item, _))| item)
             .collect();
         if surviving.is_empty() {
             return Vec::new();
@@ -137,7 +212,7 @@ impl BatchExplainer {
                 (
                     t.iter()
                         .copied()
-                        .filter(|item| surviving.contains(item))
+                        .filter(|item| surviving.binary_search(item).is_ok())
                         .collect::<Vec<Item>>(),
                     *weight,
                 )
@@ -145,44 +220,55 @@ impl BatchExplainer {
             .filter(|(items, _)| !items.is_empty())
             .collect();
         let tree = FpTree::from_weighted_transactions(&filtered_outliers, min_outlier_count);
-        let mined: Vec<FrequentItemset> =
-            tree.mine(min_outlier_count, self.config.max_combination_size);
+        let mined: Vec<FrequentItemset> = if prune {
+            tree.mine_with_bound(min_outlier_count, self.config.max_combination_size, ceiling)
+        } else {
+            tree.mine(min_outlier_count, self.config.max_combination_size)
+        };
 
         // Stage 3: compute risk ratios; combinations (size >= 2) need one more
-        // restricted pass over the inliers to obtain their inlier counts.
+        // restricted pass over the inliers to obtain their inlier counts,
+        // accumulated positionally alongside `combos`.
         let combos: Vec<&FrequentItemset> = mined.iter().filter(|m| m.len() >= 2).collect();
-        let mut combo_inlier_counts: HashMap<&[Item], f64> = HashMap::new();
+        let mut combo_inlier_counts: Vec<f64> = vec![0.0; combos.len()];
         if !combos.is_empty() {
+            let mut present: Vec<Item> = Vec::new();
             for (transaction, weight) in inliers {
-                let present: HashSet<Item> = transaction
-                    .iter()
-                    .copied()
-                    .filter(|item| surviving.contains(item))
-                    .collect();
+                present.clear();
+                present.extend(
+                    transaction
+                        .iter()
+                        .copied()
+                        .filter(|item| surviving.binary_search(item).is_ok()),
+                );
                 if present.is_empty() {
                     continue;
                 }
-                for combo in &combos {
-                    if combo.items.iter().all(|item| present.contains(item)) {
-                        *combo_inlier_counts.entry(combo.items.as_slice()).or_insert(0.0) +=
-                            weight;
+                present.sort_unstable();
+                for (pos, combo) in combos.iter().enumerate() {
+                    if combo
+                        .items
+                        .iter()
+                        .all(|item| present.binary_search(item).is_ok())
+                    {
+                        combo_inlier_counts[pos] += weight;
                     }
                 }
             }
         }
 
         let mut explanations = Vec::new();
+        let mut combo_pos = 0;
         for itemset in &mined {
             let ai = if itemset.len() == 1 {
-                inlier_singles
-                    .get(&itemset.items[0])
-                    .copied()
+                candidate_items
+                    .binary_search(&itemset.items[0])
+                    .map(|pos| candidate_inlier_counts[pos])
                     .unwrap_or(0.0)
             } else {
-                combo_inlier_counts
-                    .get(itemset.items.as_slice())
-                    .copied()
-                    .unwrap_or(0.0)
+                let count = combo_inlier_counts[combo_pos];
+                combo_pos += 1;
+                count
             };
             let stats = ExplanationStats::from_counts(
                 itemset.support,
@@ -447,6 +533,91 @@ mod tests {
         let explainer = BatchExplainer::new(ExplanationConfig::new(0.1, 3.0));
         let explanations = explainer.explain(&outliers, &[]);
         assert!(explanations.is_empty());
+    }
+
+    #[test]
+    fn explain_labeled_is_exactly_explain() {
+        let (outliers, inliers) = planted_workload(1_000, 20_000, 0.8);
+        // Interleave the classes into one columnar batch the way an executor
+        // would see them, with a label predicate recovering the class.
+        let mut batch = ItemBatch::new();
+        let mut labels = Vec::new();
+        let (mut oi, mut ii) = (0usize, 0usize);
+        while oi < outliers.len() || ii < inliers.len() {
+            if oi < outliers.len() {
+                batch.push_row(&outliers[oi]);
+                labels.push(true);
+                oi += 1;
+            }
+            for _ in 0..20 {
+                if ii < inliers.len() {
+                    batch.push_row(&inliers[ii]);
+                    labels.push(false);
+                    ii += 1;
+                }
+            }
+        }
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.01, 3.0));
+        assert_same_explanations(
+            explainer.explain_labeled(&batch, |r| labels[r]),
+            explainer.explain(&outliers, &inliers),
+        );
+    }
+
+    #[test]
+    fn pruned_equals_unpruned_on_planted_workload() {
+        let (outliers, inliers) = planted_workload(1_000, 50_000, 0.8);
+        let explainer = BatchExplainer::new(ExplanationConfig::new(0.01, 3.0));
+        let wo: Vec<(&[Item], f64)> = outliers.iter().map(|t| (t.as_slice(), 1.0)).collect();
+        let wi: Vec<(&[Item], f64)> = inliers.iter().map(|t| (t.as_slice(), 1.0)).collect();
+        let (to, ti) = (outliers.len() as f64, inliers.len() as f64);
+        assert_same_explanations(
+            explainer.explain_weighted_impl(&wo, &wi, to, ti, true),
+            explainer.explain_weighted_impl(&wo, &wi, to, ti, false),
+        );
+    }
+
+    mod pruning_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn transactions(
+            max_len: usize,
+            universe: Item,
+            max_txns: usize,
+        ) -> impl Strategy<Value = Vec<Vec<Item>>> {
+            prop::collection::vec(
+                prop::collection::vec(0..universe, 0..max_len + 1),
+                0..max_txns + 1,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // The risk-ratio-ceiling pruning (candidate pre-filter + bounded
+            // FP-growth descent) must be output-identical to the unpruned
+            // pipeline on arbitrary transaction sets and thresholds.
+            #[test]
+            fn pruned_explanations_equal_unpruned(
+                outliers in transactions(5, 12, 40),
+                inliers in transactions(5, 12, 200),
+                min_support in 0.01f64..0.5,
+                min_risk_ratio in 1.0f64..10.0,
+            ) {
+                let explainer = BatchExplainer::new(
+                    ExplanationConfig::new(min_support, min_risk_ratio),
+                );
+                let wo: Vec<(&[Item], f64)> =
+                    outliers.iter().map(|t| (t.as_slice(), 1.0)).collect();
+                let wi: Vec<(&[Item], f64)> =
+                    inliers.iter().map(|t| (t.as_slice(), 1.0)).collect();
+                let (to, ti) = (outliers.len() as f64, inliers.len() as f64);
+                let pruned = explainer.explain_weighted_impl(&wo, &wi, to, ti, true);
+                let unpruned = explainer.explain_weighted_impl(&wo, &wi, to, ti, false);
+                assert_same_explanations(pruned, unpruned);
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! every downstream count, tree, and explanation) are *identical* to what a
 //! serial [`AttributeEncoder::encode_point`] loop would have produced.
 
+use crate::items::ItemBatch;
 use mb_fpgrowth::Item;
 use std::collections::HashMap;
 
@@ -41,10 +42,93 @@ impl std::fmt::Display for AttributeValue {
     }
 }
 
+/// FNV-1a over the column index and the value bytes. Fixed constants — the
+/// hash is a pure function of the key, so two encoders built from the same
+/// stream are identical, thread count notwithstanding.
+fn key_hash(column: usize, value: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in (column as u64).to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in value.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Open-addressing index from key hash to item id, resolved against the
+/// encoder's `reverse` table. Keys are *not* stored here — the interned
+/// `AttributeValue` in `reverse` is the single allocation per distinct
+/// value, and probes compare the cached hash before touching the strings.
+#[derive(Debug, Clone, Default)]
+struct IndexTable {
+    /// `(hash, item)` slots; `Item::MAX` marks an empty slot. Capacity is a
+    /// power of two (zero when empty).
+    slots: Vec<(u64, Item)>,
+    len: usize,
+}
+
+const EMPTY_SLOT: Item = Item::MAX;
+
+impl IndexTable {
+    fn find(&self, hash: u64, mut eq: impl FnMut(Item) -> bool) -> Option<Item> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let (h, item) = self.slots[i];
+            if item == EMPTY_SLOT {
+                return None;
+            }
+            if h == hash && eq(item) {
+                return Some(item);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert a hash/item pair known to be absent, growing at 7/8 load.
+    fn insert(&mut self, hash: u64, item: Item) {
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.slots[i].1 != EMPTY_SLOT {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (hash, item);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![(0, EMPTY_SLOT); new_cap]);
+        let mask = new_cap - 1;
+        for (h, item) in old {
+            if item != EMPTY_SLOT {
+                let mut i = (h as usize) & mask;
+                while self.slots[i].1 != EMPTY_SLOT {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = (h, item);
+            }
+        }
+    }
+}
+
 /// Bidirectional mapping between attribute values and dense item ids.
+///
+/// The forward direction is an open-addressing hash index resolved against
+/// the `reverse` table, so the hot path — encoding a value already in the
+/// dictionary — allocates nothing and never builds a temporary key: it
+/// hashes the borrowed `&str`, probes, and compares in place. Each distinct
+/// value is allocated exactly once, when first interned.
 #[derive(Debug, Clone, Default)]
 pub struct AttributeEncoder {
-    forward: HashMap<AttributeValue, Item>,
+    index: IndexTable,
     reverse: Vec<AttributeValue>,
     /// Optional human-readable column names for display.
     column_names: Vec<String>,
@@ -59,21 +143,27 @@ impl AttributeEncoder {
     /// Create an encoder with named columns (used when rendering).
     pub fn with_column_names(names: Vec<String>) -> Self {
         AttributeEncoder {
-            forward: HashMap::new(),
-            reverse: Vec::new(),
             column_names: names,
+            ..Self::default()
         }
     }
 
     /// Intern one (column, value) pair, returning its item id.
     pub fn encode(&mut self, column: usize, value: &str) -> Item {
-        let key = AttributeValue::new(column, value);
-        if let Some(&item) = self.forward.get(&key) {
+        let hash = key_hash(column, value);
+        let reverse = &self.reverse;
+        if let Some(item) = self.index.find(hash, |item| {
+            let av = &reverse[item as usize];
+            av.column == column && av.value == value
+        }) {
             return item;
         }
         let item = self.reverse.len() as Item;
-        self.forward.insert(key.clone(), item);
-        self.reverse.push(key);
+        self.reverse.push(AttributeValue {
+            column,
+            value: value.to_owned(),
+        });
+        self.index.insert(hash, item);
         item
     }
 
@@ -86,9 +176,26 @@ impl AttributeEncoder {
             .collect()
     }
 
+    /// Encode one point's attributes into a caller-owned scratch buffer
+    /// (cleared first), so per-point streaming paths reuse one allocation.
+    pub fn encode_point_into(&mut self, attributes: &[String], out: &mut Vec<Item>) {
+        out.clear();
+        out.extend(
+            attributes
+                .iter()
+                .enumerate()
+                .map(|(column, value)| self.encode(column, value)),
+        );
+    }
+
     /// Look up an item id without interning; `None` if never seen.
     pub fn lookup(&self, column: usize, value: &str) -> Option<Item> {
-        self.forward.get(&AttributeValue::new(column, value)).copied()
+        let hash = key_hash(column, value);
+        let reverse = &self.reverse;
+        self.index.find(hash, |item| {
+            let av = &reverse[item as usize];
+            av.column == column && av.value == value
+        })
     }
 
     /// Decode an item id back to its attribute value.
@@ -125,33 +232,34 @@ impl AttributeEncoder {
     }
 }
 
-/// One shard's private output from the parallel encode pass: transactions
-/// with provisional item ids, plus the dictionary entries the shard minted
-/// (each with the global row index of its first occurrence).
+/// One shard's private output from the parallel encode pass: a columnar
+/// transaction batch with provisional item ids, plus the dictionary entries
+/// the shard minted (each with the global row index of its first
+/// occurrence).
 struct ShardEncode {
-    transactions: Vec<Vec<Item>>,
+    batch: ItemBatch,
     /// Minted entries in local-id order; `.1` is the first global row index
     /// at which the shard saw the value.
     minted: Vec<(AttributeValue, usize)>,
 }
 
-/// Encode `rows` into item transactions in parallel shards on `pool`,
-/// interning any new attribute values into `encoder`.
+/// Encode `rows` into one columnar [`ItemBatch`] in parallel shards on
+/// `pool`, interning any new attribute values into `encoder`.
 ///
 /// Each shard reads the pre-existing dictionary lock-free (shared
 /// reference) and mints provisional ids for misses in a private local
 /// dictionary. The shard dictionaries then merge into `encoder` ordered by
 /// first occurrence (row, then column), which makes the id assignment —
-/// and hence the returned transactions — byte-identical to a serial
+/// and hence the returned batch — byte-identical to a serial
 /// [`AttributeEncoder::encode_point`] loop over `rows`, for any shard count
 /// and any thread interleaving. Finally the provisional ids are rewritten
-/// to their merged ids, again in parallel.
-pub fn encode_rows_parallel<R>(
+/// to their merged ids, again in parallel, over the flat item arrays.
+pub fn encode_batch_parallel<R>(
     encoder: &mut AttributeEncoder,
     pool: &mb_pool::Pool,
     rows: &[R],
     num_shards: usize,
-) -> Vec<Vec<Item>>
+) -> ItemBatch
 where
     R: AsRef<[String]> + Sync,
 {
@@ -169,35 +277,29 @@ where
         .collect();
     let frozen = &*encoder;
     let mut shards: Vec<ShardEncode> = pool.map_vec(shard_inputs, |(offset, shard_rows)| {
-        let mut local: HashMap<AttributeValue, Item> = HashMap::new();
-        let mut minted: Vec<(AttributeValue, usize)> = Vec::new();
-        let transactions = shard_rows
-            .iter()
-            .enumerate()
-            .map(|(row_in_shard, row)| {
-                row.as_ref()
-                    .iter()
-                    .enumerate()
-                    .map(|(column, value)| {
-                        if let Some(item) = frozen.lookup(column, value) {
-                            return item;
-                        }
-                        let key = AttributeValue::new(column, value.clone());
-                        if let Some(&provisional) = local.get(&key) {
-                            return base + provisional;
-                        }
-                        let provisional = minted.len() as Item;
-                        local.insert(key.clone(), provisional);
-                        minted.push((key, offset + row_in_shard));
-                        base + provisional
-                    })
-                    .collect()
-            })
-            .collect();
-        ShardEncode {
-            transactions,
-            minted,
+        let mut local = AttributeEncoder::new();
+        let mut first_rows: Vec<usize> = Vec::new();
+        let columns = shard_rows.first().map_or(0, |r| r.as_ref().len());
+        let mut batch = ItemBatch::with_capacity(shard_rows.len(), columns);
+        for (row_in_shard, row) in shard_rows.iter().enumerate() {
+            for (column, value) in row.as_ref().iter().enumerate() {
+                if let Some(item) = frozen.lookup(column, value) {
+                    batch.push_item(item);
+                    continue;
+                }
+                let before = local.cardinality();
+                let provisional = local.encode(column, value);
+                if local.cardinality() > before {
+                    first_rows.push(offset + row_in_shard);
+                }
+                batch.push_item(base + provisional);
+            }
+            batch.finish_row();
         }
+        // The local dictionary's reverse table is exactly the minted values
+        // in provisional-id order.
+        let minted = local.reverse.into_iter().zip(first_rows).collect();
+        ShardEncode { batch, minted }
     });
 
     // Merge dictionaries: dedupe the minted values across shards keeping the
@@ -222,7 +324,8 @@ where
     }
 
     // Gather: rewrite each shard's provisional ids to merged ids in
-    // parallel, then concatenate transactions in shard (= row) order.
+    // parallel over the flat item arrays, then concatenate the shard
+    // batches in shard (= row) order.
     let remaps: Vec<Vec<Item>> = shards
         .iter()
         .map(|shard| {
@@ -238,27 +341,36 @@ where
         })
         .collect();
     let shard_work: Vec<(ShardEncode, &Vec<Item>)> = shards.drain(..).zip(remaps.iter()).collect();
-    pool.map_vec(shard_work, |(shard, remap)| {
-        shard
-            .transactions
-            .into_iter()
-            .map(|transaction| {
-                transaction
-                    .into_iter()
-                    .map(|item| {
-                        if item < base {
-                            item
-                        } else {
-                            remap[(item - base) as usize]
-                        }
-                    })
-                    .collect::<Vec<Item>>()
-            })
-            .collect::<Vec<Vec<Item>>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    let rewritten: Vec<ItemBatch> = pool.map_vec(shard_work, |(mut shard, remap)| {
+        for item in shard.batch.items_mut() {
+            if *item >= base {
+                *item = remap[(*item - base) as usize];
+            }
+        }
+        shard.batch
+    });
+    let mut out = ItemBatch::with_capacity(
+        rows.len(),
+        rewritten.iter().map(ItemBatch::num_items).sum::<usize>() / rows.len().max(1) + 1,
+    );
+    for shard in &rewritten {
+        out.append(shard);
+    }
+    out
+}
+
+/// [`encode_batch_parallel`] materialized into the row-major
+/// `Vec<Vec<Item>>` layout, for callers that still need per-row vectors.
+pub fn encode_rows_parallel<R>(
+    encoder: &mut AttributeEncoder,
+    pool: &mb_pool::Pool,
+    rows: &[R],
+    num_shards: usize,
+) -> Vec<Vec<Item>>
+where
+    R: AsRef<[String]> + Sync,
+{
+    encode_batch_parallel(encoder, pool, rows, num_shards).to_rows()
 }
 
 #[cfg(test)]

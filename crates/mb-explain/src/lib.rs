@@ -8,6 +8,9 @@
 //!
 //! * [`encoder`] — dictionary encoding of (attribute column, value) pairs
 //!   into dense item ids used by the itemset miners.
+//! * [`items`] — the columnar [`ItemBatch`] transaction layout (flat item
+//!   array + row offsets) the encode pass produces and the batch pipeline
+//!   consumes, so strings stop flowing past ingestion.
 //! * [`mod@risk_ratio`] — the risk-ratio statistic and explanation types.
 //! * [`batch`] — the outlier-aware batch explanation strategy (Algorithm 2)
 //!   plus the naïve "mine both sides with FPGrowth" baseline it is compared
@@ -46,11 +49,13 @@
 pub mod baselines;
 pub mod batch;
 pub mod encoder;
+pub mod items;
 pub mod partition;
 pub mod risk_ratio;
 pub mod streaming;
 
 pub use encoder::AttributeEncoder;
+pub use items::ItemBatch;
 pub use mb_sketch::Mergeable;
 pub use partition::ExplainState;
 pub use risk_ratio::{risk_ratio, Explanation, ExplanationStats};

@@ -28,12 +28,16 @@ pub struct StreamingPrefixTree {
     total_weight: f64,
 }
 
+/// Children are a vector of `(item, node index)` pairs sorted by item id
+/// (binary search), matching the batch [`FpTree`]'s arena layout: streaming
+/// sibling fan-out is small, so the flat sorted vector is both faster to
+/// probe and denser in cache than a per-node `HashMap`.
 #[derive(Debug, Clone)]
 struct PrefixNode {
     item: Item,
     count: f64,
     parent: usize,
-    children: HashMap<Item, usize>,
+    children: Vec<(Item, usize)>,
 }
 
 const ROOT: usize = 0;
@@ -52,7 +56,7 @@ impl StreamingPrefixTree {
                 item: Item::MAX,
                 count: 0.0,
                 parent: usize::MAX,
-                children: HashMap::new(),
+                children: Vec::new(),
             }],
             item_counts: HashMap::new(),
             total_weight: 0.0,
@@ -104,23 +108,33 @@ impl StreamingPrefixTree {
         });
         let mut current = ROOT;
         for &item in &unique {
-            current = match self.nodes[current].children.get(&item) {
-                Some(&child) => {
-                    self.nodes[child].count += weight;
-                    child
-                }
-                None => {
-                    let idx = self.nodes.len();
-                    self.nodes.push(PrefixNode {
-                        item,
-                        count: weight,
-                        parent: current,
-                        children: HashMap::new(),
-                    });
-                    self.nodes[current].children.insert(item, idx);
-                    idx
-                }
-            };
+            current = self.descend(current, item, weight);
+        }
+    }
+
+    /// Walk from `current` to its `item` child (adding `weight`), creating
+    /// the child if absent. Children stay sorted by item id.
+    fn descend(&mut self, current: usize, item: Item, weight: f64) -> usize {
+        match self.nodes[current]
+            .children
+            .binary_search_by_key(&item, |&(i, _)| i)
+        {
+            Ok(pos) => {
+                let child = self.nodes[current].children[pos].1;
+                self.nodes[child].count += weight;
+                child
+            }
+            Err(pos) => {
+                let idx = self.nodes.len();
+                self.nodes.push(PrefixNode {
+                    item,
+                    count: weight,
+                    parent: current,
+                    children: Vec::new(),
+                });
+                self.nodes[current].children.insert(pos, (item, idx));
+                idx
+            }
         }
     }
 
@@ -146,8 +160,8 @@ impl StreamingPrefixTree {
         for node in self.nodes.iter().skip(1) {
             let child_sum: f64 = node
                 .children
-                .values()
-                .map(|&c| self.nodes[c].count)
+                .iter()
+                .map(|&(_, c)| self.nodes[c].count)
                 .sum();
             let own = node.count - child_sum;
             if own > 1e-12 {
@@ -231,23 +245,7 @@ impl StreamingPrefixTree {
         });
         let mut current = ROOT;
         for &item in &unique {
-            current = match self.nodes[current].children.get(&item) {
-                Some(&child) => {
-                    self.nodes[child].count += weight;
-                    child
-                }
-                None => {
-                    let idx = self.nodes.len();
-                    self.nodes.push(PrefixNode {
-                        item,
-                        count: weight,
-                        parent: current,
-                        children: HashMap::new(),
-                    });
-                    self.nodes[current].children.insert(item, idx);
-                    idx
-                }
-            };
+            current = self.descend(current, item, weight);
         }
     }
 

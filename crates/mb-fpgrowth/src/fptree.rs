@@ -12,12 +12,18 @@ use mb_sketch::Mergeable;
 use std::collections::HashMap;
 
 /// One node of the FP-tree.
+///
+/// Children are kept as a vector of `(item, node index)` pairs sorted by
+/// item id and located by binary search. Sibling fan-out in attribute
+/// transactions is small (bounded by the number of attribute columns times
+/// their surviving cardinality at that depth), so the sorted vector beats a
+/// per-node `HashMap` on both lookup cost and memory locality.
 #[derive(Debug, Clone)]
 struct Node {
     item: Item,
     count: f64,
     parent: usize,
-    children: HashMap<Item, usize>,
+    children: Vec<(Item, usize)>,
     /// Next node holding the same item (header-table chain).
     next_same_item: Option<usize>,
 }
@@ -49,7 +55,7 @@ impl FpTree {
                 item: Item::MAX,
                 count: 0.0,
                 parent: usize::MAX,
-                children: HashMap::new(),
+                children: Vec::new(),
                 next_same_item: None,
             }],
             header: HashMap::new(),
@@ -128,22 +134,26 @@ impl FpTree {
         self.total_weight += weight;
         let mut current = ROOT;
         for &item in items {
-            current = match self.nodes[current].children.get(&item) {
-                Some(&child) => {
+            current = match self.nodes[current]
+                .children
+                .binary_search_by_key(&item, |&(i, _)| i)
+            {
+                Ok(pos) => {
+                    let child = self.nodes[current].children[pos].1;
                     self.nodes[child].count += weight;
                     child
                 }
-                None => {
+                Err(pos) => {
                     let idx = self.nodes.len();
                     self.nodes.push(Node {
                         item,
                         count: weight,
                         parent: current,
-                        children: HashMap::new(),
+                        children: Vec::new(),
                         next_same_item: self.header.get(&item).copied(),
                     });
                     self.header.insert(item, idx);
-                    self.nodes[current].children.insert(item, idx);
+                    self.nodes[current].children.insert(pos, (item, idx));
                     idx
                 }
             };
@@ -189,28 +199,53 @@ impl FpTree {
     /// default pipeline typically looks at combinations of up to 3 or so
     /// attributes); pass `usize::MAX` for no bound.
     pub fn mine(&self, min_support: f64, max_size: usize) -> Vec<FrequentItemset> {
+        self.mine_with_bound(min_support, max_size, |_| true)
+    }
+
+    /// [`mine`](FpTree::mine) with an additional *support-monotone* bound:
+    /// an item whose total support `t` fails `bound(t)` is neither reported
+    /// nor descended into. Because an itemset's support never exceeds the
+    /// support of any of its items (in any conditional context), a bound of
+    /// the form `f(t) >= threshold` with `f` nondecreasing prunes only
+    /// itemsets that every extension would also fail — the output equals
+    /// `mine(min_support, max_size)` filtered by `bound(support)`, computed
+    /// without building the doomed conditional trees. MacroBase uses this to
+    /// skip itemsets whose *maximum attainable risk ratio* (all support
+    /// concentrated among outliers) cannot clear the reporting threshold.
+    pub fn mine_with_bound<F>(
+        &self,
+        min_support: f64,
+        max_size: usize,
+        bound: F,
+    ) -> Vec<FrequentItemset>
+    where
+        F: Fn(f64) -> bool,
+    {
         let mut results = Vec::new();
         if max_size == 0 {
             return results;
         }
         let mut suffix = Vec::new();
-        self.mine_recursive(min_support, max_size, &mut suffix, &mut results);
+        self.mine_recursive(min_support, max_size, &bound, &mut suffix, &mut results);
         results
     }
 
-    fn mine_recursive(
+    fn mine_recursive<F>(
         &self,
         min_support: f64,
         max_size: usize,
+        bound: &F,
         suffix: &mut Vec<Item>,
         results: &mut Vec<FrequentItemset>,
-    ) {
+    ) where
+        F: Fn(f64) -> bool,
+    {
         // Items in this (conditional) tree, with totals.
         let mut items: Vec<(Item, f64)> = self
             .header
             .keys()
             .map(|&item| (item, self.item_total(item)))
-            .filter(|&(_, total)| total >= min_support)
+            .filter(|&(_, total)| total >= min_support && bound(total))
             .collect();
         // Process in ascending frequency order (classic FPGrowth recursion order).
         items.sort_by(|a, b| {
@@ -234,7 +269,7 @@ impl FpTree {
                 continue;
             }
             suffix.push(item);
-            conditional.mine_recursive(min_support, max_size, suffix, results);
+            conditional.mine_recursive(min_support, max_size, bound, suffix, results);
             suffix.pop();
         }
     }
@@ -249,8 +284,8 @@ impl FpTree {
         for (idx, node) in self.nodes.iter().enumerate().skip(1) {
             let child_sum: f64 = node
                 .children
-                .values()
-                .map(|&c| self.nodes[c].count)
+                .iter()
+                .map(|&(_, c)| self.nodes[c].count)
                 .sum();
             let own = node.count - child_sum;
             if own > 1e-12 {
@@ -493,6 +528,49 @@ mod tests {
             sort_canonical(&mut oracle);
             prop_assert_eq!(mined.len(), oracle.len());
             for (m, o) in mined.iter().zip(oracle.iter()) {
+                prop_assert_eq!(&m.items, &o.items);
+                prop_assert!((m.support - o.support).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_bound_is_exactly_mine() {
+        let tree = FpTree::from_transactions(&classic_transactions(), 1.0);
+        let a = tree.mine(1.0, usize::MAX);
+        let b = tree.mine_with_bound(1.0, usize::MAX, |_| true);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.items, y.items);
+            assert!((x.support - y.support).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        // A support-monotone bound prunes exactly the itemsets whose final
+        // support fails it: bounded mining equals unbounded mining filtered
+        // after the fact.
+        #[test]
+        fn bounded_mining_equals_filtered_unbounded(
+            transactions in prop::collection::vec(
+                prop::collection::vec(0u32..8, 0..6), 0..30),
+            min_support in 1usize..4,
+            threshold in 1usize..6,
+        ) {
+            let tree = FpTree::from_transactions(&transactions, min_support as f64);
+            let cut = threshold as f64;
+            let mut bounded =
+                tree.mine_with_bound(min_support as f64, usize::MAX, |t| t >= cut);
+            let mut filtered: Vec<FrequentItemset> = tree
+                .mine(min_support as f64, usize::MAX)
+                .into_iter()
+                .filter(|r| r.support >= cut)
+                .collect();
+            sort_canonical(&mut bounded);
+            sort_canonical(&mut filtered);
+            prop_assert_eq!(bounded.len(), filtered.len());
+            for (m, o) in bounded.iter().zip(filtered.iter()) {
                 prop_assert_eq!(&m.items, &o.items);
                 prop_assert!((m.support - o.support).abs() < 1e-9);
             }

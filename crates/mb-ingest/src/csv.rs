@@ -71,34 +71,61 @@ pub struct CsvIngestResult {
     pub skipped_rows: usize,
 }
 
-/// Split one CSV line honoring double-quoted fields.
-fn split_line(line: &str, delimiter: char) -> Vec<String> {
-    let mut fields = Vec::new();
-    let mut current = String::new();
+/// Split one CSV line honoring double-quoted fields, writing into `fields`
+/// and reusing each slot's allocation across calls (the hot path splits
+/// millions of lines; per-line field vectors dominated its allocation
+/// profile). Returns the number of fields written; slots past that count
+/// hold stale text from earlier lines and must not be read.
+fn split_line_into(line: &str, delimiter: char, fields: &mut Vec<String>) -> usize {
+    let mut used = 0usize;
+    if fields.is_empty() {
+        fields.push(String::new());
+    }
+    fields[0].clear();
     let mut in_quotes = false;
     let mut chars = line.chars().peekable();
     while let Some(c) = chars.next() {
         if in_quotes {
             if c == '"' {
                 if chars.peek() == Some(&'"') {
-                    current.push('"');
+                    fields[used].push('"');
                     chars.next();
                 } else {
                     in_quotes = false;
                 }
             } else {
-                current.push(c);
+                fields[used].push(c);
             }
         } else if c == '"' {
             in_quotes = true;
         } else if c == delimiter {
-            fields.push(std::mem::take(&mut current));
+            used += 1;
+            if used == fields.len() {
+                fields.push(String::new());
+            } else {
+                fields[used].clear();
+            }
         } else {
-            current.push(c);
+            fields[used].push(c);
         }
     }
-    fields.push(current);
+    used + 1
+}
+
+/// Split one CSV line honoring double-quoted fields (owned result; the
+/// header path, which runs once per file).
+fn split_line(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let used = split_line_into(line, delimiter, &mut fields);
+    fields.truncate(used);
     fields
+}
+
+/// Strip the trailing newline the way `BufRead::lines` does: one `\n`, plus
+/// a preceding `\r` if present — nothing else.
+fn strip_line_ending(line: &str) -> &str {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    line.strip_suffix('\r').unwrap_or(line)
 }
 
 /// A streaming CSV reader: parses the header eagerly (so unknown columns
@@ -107,7 +134,13 @@ fn split_line(line: &str, delimiter: char) -> Vec<String> {
 /// ingestion into a running query goes through
 /// `macrobase_core::operator::CsvIngestor`.
 pub struct CsvReader<R: BufRead> {
-    lines: std::io::Lines<R>,
+    reader: R,
+    /// Reused line buffer: one `read_line` target for the whole file instead
+    /// of a fresh `String` per record.
+    line: String,
+    /// Reused field buffer for [`split_line_into`]; slot allocations are
+    /// recycled across records.
+    fields: Vec<String>,
     delimiter: char,
     metric_idx: Vec<usize>,
     attribute_idx: Vec<usize>,
@@ -117,10 +150,12 @@ pub struct CsvReader<R: BufRead> {
 impl<R: BufRead> CsvReader<R> {
     /// Read and validate the header, resolving `query`'s column names to
     /// field indices.
-    pub fn new(reader: R, query: &CsvQuery) -> Result<Self, CsvError> {
-        let mut lines = reader.lines();
-        let header_line = lines.next().ok_or(CsvError::MissingHeader)??;
-        let header: Vec<String> = split_line(&header_line, query.delimiter)
+    pub fn new(mut reader: R, query: &CsvQuery) -> Result<Self, CsvError> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(CsvError::MissingHeader);
+        }
+        let header: Vec<String> = split_line(strip_line_ending(&line), query.delimiter)
             .into_iter()
             .map(|h| h.trim().to_string())
             .collect();
@@ -141,7 +176,9 @@ impl<R: BufRead> CsvReader<R> {
             .map(find)
             .collect::<Result<_, _>>()?;
         Ok(CsvReader {
-            lines,
+            reader,
+            line,
+            fields: Vec::new(),
             delimiter: query.delimiter,
             metric_idx,
             attribute_idx,
@@ -158,12 +195,17 @@ impl<R: BufRead> CsvReader<R> {
     /// The next successfully parsed record; `Ok(None)` at end of input.
     /// Unparseable rows are skipped (and counted), I/O failures are errors.
     pub fn next_record(&mut self) -> Result<Option<Record>, CsvError> {
-        for line in self.lines.by_ref() {
-            let line = line?;
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            let line = strip_line_ending(&self.line);
             if line.trim().is_empty() {
                 continue;
             }
-            let fields = split_line(&line, self.delimiter);
+            let used = split_line_into(line, self.delimiter, &mut self.fields);
+            let fields = &self.fields[..used];
             let mut metrics = Vec::with_capacity(self.metric_idx.len());
             let mut ok = true;
             for &idx in &self.metric_idx {
@@ -195,7 +237,6 @@ impl<R: BufRead> CsvReader<R> {
             }
             return Ok(Some(Record::new(metrics, attributes)));
         }
-        Ok(None)
     }
 }
 

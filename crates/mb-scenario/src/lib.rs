@@ -52,7 +52,7 @@ pub use correlated::CorrelatedFailureScenario;
 pub use level_shift::LevelShiftScenario;
 pub use seasonal::SeasonalDriftScenario;
 
-use macrobase_core::operator::Ingestor;
+use macrobase_core::operator::{EncodedBatch, Ingestor};
 use macrobase_core::query::{AnalysisConfig, MdpQuery};
 use macrobase_core::types::Point;
 
@@ -152,6 +152,40 @@ impl Ingestor for ScenarioSource {
         self.cursor = end;
         Ok(Some(batch))
     }
+
+    // Encode straight off the stored points instead of cloning a `Vec<Point>`
+    // per batch (the default adapter would pay that clone only to discard the
+    // attribute strings right after encoding them).
+    fn next_encoded_batch(
+        &mut self,
+        encoder: &mut mb_explain::AttributeEncoder,
+    ) -> macrobase_core::Result<Option<EncodedBatch>> {
+        if self.cursor >= self.points.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(self.points.len());
+        let points = &self.points[self.cursor..end];
+        self.cursor = end;
+        let dim = points[0].dimension();
+        let mut batch = EncodedBatch {
+            metrics: Vec::with_capacity(points.len() * dim),
+            dim,
+            items: mb_explain::ItemBatch::with_capacity(points.len(), 2),
+        };
+        let mut scratch = Vec::new();
+        for p in points {
+            if p.dimension() != dim {
+                return Err(macrobase_core::PipelineError::InconsistentDimensions {
+                    expected: dim,
+                    actual: p.dimension(),
+                });
+            }
+            batch.metrics.extend_from_slice(&p.metrics);
+            encoder.encode_point_into(&p.attributes, &mut scratch);
+            batch.items.push_row(&scratch);
+        }
+        Ok(Some(batch))
+    }
 }
 
 /// The standard corpus: one instance of every scenario at default parameters
@@ -196,6 +230,38 @@ mod tests {
             seen.extend(batch);
         }
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn encoded_batches_match_point_batches() {
+        let scenario = LevelShiftScenario {
+            num_points: 250,
+            ..LevelShiftScenario::default()
+        };
+        let generated = scenario.generate();
+        let (mut points_src, _) = generated.clone().into_source(64);
+        let (mut encoded_src, _) = generated.into_source(64);
+        let mut expected_encoder = mb_explain::AttributeEncoder::new();
+        let mut encoder = mb_explain::AttributeEncoder::new();
+        loop {
+            let points = points_src.next_batch().unwrap();
+            let encoded = encoded_src.next_encoded_batch(&mut encoder).unwrap();
+            let Some(points) = points else {
+                assert!(encoded.is_none());
+                break;
+            };
+            let encoded = encoded.unwrap();
+            assert_eq!(encoded.len(), points.len());
+            assert_eq!(encoded.dim, points[0].dimension());
+            for (r, p) in points.iter().enumerate() {
+                let start = r * encoded.dim;
+                assert_eq!(&encoded.metrics[start..start + encoded.dim], &p.metrics[..]);
+                assert_eq!(
+                    encoded.items.row(r),
+                    expected_encoder.encode_point(&p.attributes)
+                );
+            }
+        }
     }
 
     #[test]

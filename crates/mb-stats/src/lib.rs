@@ -115,6 +115,29 @@ pub trait Estimator {
     /// small/degenerate for the estimator.
     fn train(&mut self, sample: &[Vec<f64>]) -> Result<()>;
 
+    /// Fit the estimator on a contiguous row-major sample (`dim` values per
+    /// row) — the columnar counterpart of [`train`].
+    ///
+    /// The default materializes row vectors and delegates to [`train`];
+    /// univariate estimators override it to fit straight off the flat
+    /// buffer without per-row allocation. Must produce exactly the model
+    /// [`train`] would fit on the same rows.
+    ///
+    /// [`train`]: Estimator::train
+    fn train_flat(&mut self, flat: &[f64], dim: usize) -> Result<()> {
+        if dim == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if flat.len() % dim != 0 {
+            return Err(StatsError::DimensionMismatch {
+                expected: dim,
+                actual: flat.len() % dim,
+            });
+        }
+        let rows: Vec<Vec<f64>> = flat.chunks_exact(dim).map(|row| row.to_vec()).collect();
+        self.train(&rows)
+    }
+
     /// Score a single metric vector. Requires a prior successful [`train`].
     ///
     /// [`train`]: Estimator::train
@@ -131,6 +154,28 @@ pub trait Estimator {
     /// [`score`]: Estimator::score
     fn score_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
         rows.iter().map(|row| self.score(row)).collect()
+    }
+
+    /// Score many metric vectors stored contiguously (row-major, `dim` values
+    /// per row), returning one score per row in row order.
+    ///
+    /// This is the columnar counterpart of [`score_batch`] used by the batch
+    /// pipeline, which keeps metrics in one flat buffer instead of a
+    /// `Vec<Vec<f64>>`. Must return exactly what scoring each `dim`-length
+    /// chunk individually would.
+    ///
+    /// [`score_batch`]: Estimator::score_batch
+    fn score_batch_flat(&self, flat: &[f64], dim: usize) -> Result<Vec<f64>> {
+        if dim == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if flat.len() % dim != 0 {
+            return Err(StatsError::DimensionMismatch {
+                expected: dim,
+                actual: flat.len() % dim,
+            });
+        }
+        flat.chunks_exact(dim).map(|row| self.score(row)).collect()
     }
 
     /// Dimensionality the model was trained on, if trained.

@@ -76,6 +76,25 @@ impl Estimator for MadEstimator {
         self.train_univariate(&values)
     }
 
+    // Univariate: a flat dim-1 buffer IS the value column — fit on it
+    // directly, skipping the default's per-row materialization. Error
+    // precedence matches the row path (finiteness before dimension).
+    fn train_flat(&mut self, flat: &[f64], dim: usize) -> Result<()> {
+        if flat.is_empty() || dim == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if flat.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        if dim != 1 {
+            return Err(StatsError::DimensionMismatch {
+                expected: 1,
+                actual: dim,
+            });
+        }
+        self.train_univariate(flat)
+    }
+
     fn score(&self, metrics: &[f64]) -> Result<f64> {
         if metrics.len() != 1 {
             return Err(StatsError::DimensionMismatch {
@@ -84,6 +103,27 @@ impl Estimator for MadEstimator {
             });
         }
         self.score_value(metrics[0])
+    }
+
+    // One branch-free pass over the flat buffer — same arithmetic as
+    // `score_value` per element, without a `Result` round-trip per row.
+    fn score_batch_flat(&self, flat: &[f64], dim: usize) -> Result<Vec<f64>> {
+        if dim == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if dim != 1 {
+            return Err(StatsError::DimensionMismatch {
+                expected: 1,
+                actual: dim,
+            });
+        }
+        if !self.trained {
+            return Err(StatsError::NotTrained);
+        }
+        Ok(flat
+            .iter()
+            .map(|x| (x - self.median).abs() / self.scaled_mad)
+            .collect())
     }
 
     fn dimension(&self) -> Option<usize> {

@@ -415,6 +415,38 @@ impl Estimator for McdEstimator {
             .collect())
     }
 
+    fn score_batch_flat(&self, flat: &[f64], dim: usize) -> Result<Vec<f64>> {
+        // Same parallel distance pass over the contiguous row-major buffer;
+        // per-row arithmetic and clamp-and-sqrt are identical to `score`,
+        // so results are bit-identical regardless of layout or threads.
+        let inv = self
+            .inverse_covariance
+            .as_ref()
+            .ok_or(StatsError::NotTrained)?;
+        if dim != self.mean.len() || flat.len() % self.mean.len() != 0 {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.mean.len(),
+                actual: if dim != self.mean.len() {
+                    dim
+                } else {
+                    flat.len() % self.mean.len()
+                },
+            });
+        }
+        let mut scores = vec![0.0; flat.len() / dim];
+        let mean = &self.mean;
+        mb_pool::global().parallel_for(&mut scores, DISTANCE_GRAIN, |start, chunk| {
+            let mut centered = vec![0.0; dim];
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                let row = &flat[(start + offset) * dim..(start + offset + 1) * dim];
+                *slot = squared_distance(inv, mean, row, &mut centered)
+                    .max(0.0)
+                    .sqrt();
+            }
+        });
+        Ok(scores)
+    }
+
     fn dimension(&self) -> Option<usize> {
         self.covariance.as_ref().map(|_| self.mean.len())
     }
@@ -513,6 +545,24 @@ mod tests {
         est.train(&sample).unwrap();
         let loc: Vec<f64> = est.location().unwrap().to_vec();
         assert!(est.score(&loc).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn score_batch_flat_is_bit_identical_to_row_scoring() {
+        let mut rng = SplitMix64::new(61);
+        let sample = gaussian_cloud(&mut rng, 400, &[1.0, -2.0, 0.5], 1.5);
+        let mut est = McdEstimator::with_defaults();
+        est.train(&sample).unwrap();
+        let queries = gaussian_cloud(&mut rng, 257, &[0.0, 0.0, 0.0], 3.0);
+        let flat: Vec<f64> = queries.iter().flatten().copied().collect();
+        let flat_scores = est.score_batch_flat(&flat, 3).unwrap();
+        assert_eq!(est.score_batch(&queries).unwrap(), flat_scores);
+        let serial: Vec<f64> = queries.iter().map(|q| est.score(q).unwrap()).collect();
+        assert_eq!(serial, flat_scores);
+        assert!(matches!(
+            est.score_batch_flat(&flat, 4),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -72,6 +72,24 @@ impl Estimator for ZScoreEstimator {
         self.train_univariate(&values)
     }
 
+    // Univariate: fit straight off the flat dim-1 buffer (see
+    // `MadEstimator::train_flat`).
+    fn train_flat(&mut self, flat: &[f64], dim: usize) -> Result<()> {
+        if flat.is_empty() || dim == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if flat.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        if dim != 1 {
+            return Err(StatsError::DimensionMismatch {
+                expected: 1,
+                actual: dim,
+            });
+        }
+        self.train_univariate(flat)
+    }
+
     fn score(&self, metrics: &[f64]) -> Result<f64> {
         if metrics.len() != 1 {
             return Err(StatsError::DimensionMismatch {
@@ -80,6 +98,24 @@ impl Estimator for ZScoreEstimator {
             });
         }
         self.score_value(metrics[0])
+    }
+
+    // One branch-free pass over the flat buffer (see
+    // `MadEstimator::score_batch_flat`).
+    fn score_batch_flat(&self, flat: &[f64], dim: usize) -> Result<Vec<f64>> {
+        if dim == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if dim != 1 {
+            return Err(StatsError::DimensionMismatch {
+                expected: 1,
+                actual: dim,
+            });
+        }
+        if !self.trained {
+            return Err(StatsError::NotTrained);
+        }
+        Ok(flat.iter().map(|x| (x - self.mean).abs() / self.std).collect())
     }
 
     fn dimension(&self) -> Option<usize> {

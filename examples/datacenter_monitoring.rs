@@ -50,9 +50,8 @@ fn run_query(
     let top = report
         .top_attributes(1)
         .first()
-        .cloned()
-        .unwrap_or_default()
-        .join(", ");
+        .map(|attributes| attributes.join(", "))
+        .unwrap_or_default();
     println!(
         "{name}: top explanation [{top}] (truth: hostname={truth}) in {:.2?} — {}",
         start.elapsed(),

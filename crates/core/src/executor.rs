@@ -33,11 +33,35 @@ use mb_explain::partition::ExplainState;
 use mb_explain::risk_ratio::rank_explanations;
 use mb_explain::{ItemBatch, Mergeable};
 use mb_fpgrowth::Item;
+use mb_obs::{stage, MetricRegistry, TraceBuilder};
 use mb_stats::mad::MadEstimator;
 use mb_stats::mcd::McdEstimator;
 use mb_stats::zscore::ZScoreEstimator;
 use mb_stats::Estimator;
 use std::collections::HashMap;
+
+/// Fold the global pool's activity delta since `before` into a trace's
+/// registry (see [`mb_pool::Pool::total_stats`]). `before` is `Some` only
+/// for traced top-level executions — per-partition sub-traces skip pool
+/// deltas, which would otherwise double-count concurrent partitions.
+fn record_pool_delta(trace: &mut TraceBuilder, before: Option<mb_pool::WorkerStats>) {
+    let Some(before) = before else { return };
+    let pool = mb_pool::global();
+    let delta = pool.total_stats().since(&before);
+    let registry = trace.registry();
+    registry.add("pool_tasks", delta.tasks_executed);
+    registry.add("pool_steals", delta.tasks_stolen);
+    registry.add("pool_injector_pops", delta.injector_pops);
+    registry.add("pool_idle_parks", delta.idle_parks);
+    registry.set_gauge("pool_workers", pool.num_threads() as f64);
+}
+
+/// Snapshot the global pool's counters when tracing is on.
+fn pool_snapshot(trace: &TraceBuilder) -> Option<mb_pool::WorkerStats> {
+    trace
+        .is_enabled()
+        .then(|| mb_pool::global().total_stats())
+}
 
 /// The classifier/rule/flags slice of a query, borrowed for an execution.
 #[derive(Clone, Copy)]
@@ -112,14 +136,38 @@ impl MdpClassifier {
         self.cutoff
     }
 
+    /// Fit, score, threshold, and label — the exact operation sequence of
+    /// [`BatchClassifier::classify_batch_flat`], unrolled here so the train
+    /// and score halves can be timed as separate trace stages. Results are
+    /// identical to the composite call (same ops in the same order); the
+    /// trace builder is inert unless the query enabled telemetry.
     fn classify_unsupervised<E: Estimator>(
         &mut self,
         estimator: E,
         flat: &[f64],
         dim: usize,
+        trace: &mut TraceBuilder,
     ) -> Result<Vec<Classification>> {
+        let rows = flat.len() / dim.max(1);
         let mut classifier = BatchClassifier::new(estimator, self.config);
-        let classifications = classifier.classify_batch_flat(flat, dim)?;
+        let timer = trace.start();
+        classifier.fit_flat(flat, dim)?;
+        trace.finish_stage(timer, stage::TRAIN, rows, rows, 1);
+        let timer = trace.start();
+        let scores = classifier.score_batch_flat(flat, dim)?;
+        let threshold = StaticThreshold::from_scores(&scores, self.config.target_percentile)?;
+        classifier.set_threshold(threshold);
+        let classifications: Vec<Classification> = scores
+            .into_iter()
+            .map(|score| threshold.classify(score))
+            .collect();
+        if trace.is_enabled() {
+            let outliers = classifications
+                .iter()
+                .filter(|c| c.label.is_outlier())
+                .count();
+            trace.finish_stage(timer, stage::SCORE, rows, outliers, 1);
+        }
         self.cutoff = classifier.threshold().map(|t| t.cutoff());
         Ok(classifications)
     }
@@ -141,16 +189,27 @@ impl MdpClassifier {
     /// the columnar entry every batch path funnels through. Produces exactly
     /// the classifications the row-major [`Classifier::classify`] does.
     pub(crate) fn classify_flat(&mut self, flat: &[f64], dim: usize) -> Result<Vec<Classification>> {
+        self.classify_flat_traced(flat, dim, &mut TraceBuilder::disabled())
+    }
+
+    /// [`classify_flat`](MdpClassifier::classify_flat) with train/score
+    /// stage timing recorded on `trace` (inert when telemetry is off).
+    pub(crate) fn classify_flat_traced(
+        &mut self,
+        flat: &[f64],
+        dim: usize,
+        trace: &mut TraceBuilder,
+    ) -> Result<Vec<Classification>> {
         let mut classifications = if self.unsupervised {
             match self.estimator.resolve(dim) {
                 EstimatorKind::Mad => {
-                    self.classify_unsupervised(MadEstimator::new(), flat, dim)?
+                    self.classify_unsupervised(MadEstimator::new(), flat, dim, trace)?
                 }
                 EstimatorKind::ZScore => {
-                    self.classify_unsupervised(ZScoreEstimator::new(), flat, dim)?
+                    self.classify_unsupervised(ZScoreEstimator::new(), flat, dim, trace)?
                 }
                 EstimatorKind::Mcd => {
-                    self.classify_unsupervised(McdEstimator::with_defaults(), flat, dim)?
+                    self.classify_unsupervised(McdEstimator::with_defaults(), flat, dim, trace)?
                 }
                 EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
             }
@@ -255,9 +314,31 @@ pub(crate) fn execute_one_shot(
     parts: QueryParts<'_>,
     points: &[Point],
 ) -> Result<(Vec<Classification>, MdpReport)> {
+    execute_one_shot_impl(parts, points, true)
+}
+
+/// [`execute_one_shot`] with control over pool-counter recording: the naïve
+/// engine runs this per partition concurrently, where per-partition global
+/// pool deltas would overlap and double-count, so only top-level entries
+/// pass `record_pool`.
+fn execute_one_shot_impl(
+    parts: QueryParts<'_>,
+    points: &[Point],
+    record_pool: bool,
+) -> Result<(Vec<Classification>, MdpReport)> {
+    let mut trace = TraceBuilder::new(parts.analysis.obs, "one-shot");
+    let pool_before = if record_pool {
+        pool_snapshot(&trace)
+    } else {
+        None
+    };
+    let dim = check_dimensions(points)?;
+    let timer = trace.start();
+    let flat = flatten_metrics(points, dim);
+    trace.finish_stage(timer, "flatten", points.len(), points.len(), 1);
     let mut classifier =
         MdpClassifier::with_rule(parts.analysis, parts.rule.cloned(), parts.unsupervised);
-    let classifications = classifier.classify(points)?;
+    let classifications = classifier.classify_flat_traced(&flat, dim, &mut trace)?;
     let num_outliers = classifications
         .iter()
         .filter(|c| c.label.is_outlier())
@@ -274,15 +355,22 @@ pub(crate) fn execute_one_shot(
         let mut encoder = encoder_for(analysis);
         let attribute_rows: Vec<&[String]> =
             points.iter().map(|p| p.attributes.as_slice()).collect();
+        let encode_shards = resolve_num_partitions(0);
+        let timer = trace.start();
         let batch = encode_batch_parallel(
             &mut encoder,
             mb_pool::global(),
             &attribute_rows,
-            resolve_num_partitions(0),
+            encode_shards,
         );
-        explain_encoded(analysis, &encoder, &batch, &classifications)
+        trace.finish_stage(timer, stage::ENCODE, points.len(), points.len(), encode_shards);
+        let timer = trace.start();
+        let explanations = explain_encoded(analysis, &encoder, &batch, &classifications);
+        trace.finish_stage(timer, stage::EXPLAIN, points.len(), explanations.len(), 1);
+        explanations
     };
 
+    record_pool_delta(&mut trace, pool_before);
     let report = MdpReport {
         explanations,
         num_points: points.len(),
@@ -303,6 +391,7 @@ pub(crate) fn execute_one_shot(
             Vec::new()
         },
         partition_reports: None,
+        trace: trace.finish(),
     };
     Ok((classifications, report))
 }
@@ -342,6 +431,7 @@ pub(crate) fn execute_one_shot_encoded(
     dim: usize,
     items: &ItemBatch,
     encoder: &AttributeEncoder,
+    mut trace: TraceBuilder,
 ) -> Result<MdpReport> {
     if items.is_empty() {
         return Err(PipelineError::EmptyInput);
@@ -352,9 +442,10 @@ pub(crate) fn execute_one_shot_encoded(
         ));
     }
     debug_assert_eq!(flat.len(), items.len() * dim);
+    let pool_before = pool_snapshot(&trace);
     let mut classifier =
         MdpClassifier::with_rule(parts.analysis, parts.rule.cloned(), parts.unsupervised);
-    let classifications = classifier.classify_flat(flat, dim)?;
+    let classifications = classifier.classify_flat_traced(flat, dim, &mut trace)?;
     let num_outliers = classifications
         .iter()
         .filter(|c| c.label.is_outlier())
@@ -363,9 +454,13 @@ pub(crate) fn execute_one_shot_encoded(
     let explanations = if parts.analysis.skip_explanation {
         Vec::new()
     } else {
-        explain_encoded(parts.analysis, encoder, items, &classifications)
+        let timer = trace.start();
+        let explanations = explain_encoded(parts.analysis, encoder, items, &classifications);
+        trace.finish_stage(timer, stage::EXPLAIN, items.len(), explanations.len(), 1);
+        explanations
     };
 
+    record_pool_delta(&mut trace, pool_before);
     Ok(MdpReport {
         explanations,
         num_points: items.len(),
@@ -386,6 +481,7 @@ pub(crate) fn execute_one_shot_encoded(
             Vec::new()
         },
         partition_reports: None,
+        trace: trace.finish(),
     })
 }
 
@@ -405,6 +501,7 @@ fn coordinated_scores<E: Estimator + Sync>(
     dim: usize,
     num_partitions: usize,
     analysis: &AnalysisConfig,
+    trace: &mut TraceBuilder,
 ) -> Result<(Vec<f64>, f64)> {
     let mut classifier = BatchClassifier::new(
         estimator,
@@ -413,27 +510,43 @@ fn coordinated_scores<E: Estimator + Sync>(
             training_sample_size: analysis.training_sample_size,
         },
     );
+    let rows = flat.len() / dim;
+    let timer = trace.start();
     classifier.fit_flat(flat, dim)?;
+    trace.finish_stage(timer, stage::TRAIN, rows, rows, 1);
 
     // Scatter: partitions score communication-free against the shared model,
     // each over a row-aligned slice of the contiguous metric buffer. Chunk
     // boundaries cannot perturb results — each row's score is a pure
-    // function of the shared model and that row.
-    let rows = flat.len() / dim;
+    // function of the shared model and that row. When tracing, each scatter
+    // task carries its own registry shard (rows scored, tasks run) — the
+    // thread-local half of the telemetry design, folded below with the same
+    // `Mergeable` algebra the explanation states use.
     let chunk_rows = rows.div_ceil(num_partitions).max(1);
     let classifier_ref = &classifier;
-    let score_chunks: Vec<mb_stats::Result<Vec<f64>>> =
+    let tracing = trace.is_enabled();
+    let timer = trace.start();
+    let score_chunks: Vec<(mb_stats::Result<Vec<f64>>, MetricRegistry)> =
         scatter(flat.chunks(chunk_rows * dim).collect(), |chunk| {
-            classifier_ref.score_batch_flat(chunk, dim)
+            let scored = classifier_ref.score_batch_flat(chunk, dim);
+            let mut shard = MetricRegistry::new();
+            if tracing {
+                shard.add("score_rows", (chunk.len() / dim) as u64);
+                shard.add("score_tasks", 1);
+            }
+            (scored, shard)
         });
+    let batches = score_chunks.len();
     let mut scores: Vec<f64> = Vec::with_capacity(rows);
-    for chunk in score_chunks {
+    for (chunk, shard) in score_chunks {
         scores.extend(chunk?);
+        trace.merge_registry(shard);
     }
 
     // Gather: one percentile threshold over the merged score vector.
     let threshold = StaticThreshold::from_scores(&scores, analysis.target_percentile)
         .map_err(PipelineError::from)?;
+    trace.finish_stage(timer, stage::SCORE, rows, rows, batches);
     Ok((scores, threshold.cutoff()))
 }
 
@@ -449,22 +562,38 @@ pub(crate) fn execute_coordinated(
     let num_partitions = resolve_num_partitions(num_partitions);
     let dim = check_dimensions(points)?;
     let analysis = parts.analysis;
+    let mut trace = TraceBuilder::new(analysis.obs, "coordinated");
+    trace.set_partitions(num_partitions);
+    let pool_before = pool_snapshot(&trace);
 
     let (scores, cutoff) = if parts.unsupervised {
+        let timer = trace.start();
         let flat = flatten_metrics(points, dim);
+        trace.finish_stage(timer, "flatten", points.len(), points.len(), 1);
         let (scores, cutoff) = match analysis.estimator.resolve(dim) {
-            EstimatorKind::Mad => {
-                coordinated_scores(MadEstimator::new(), &flat, dim, num_partitions, analysis)?
-            }
-            EstimatorKind::ZScore => {
-                coordinated_scores(ZScoreEstimator::new(), &flat, dim, num_partitions, analysis)?
-            }
+            EstimatorKind::Mad => coordinated_scores(
+                MadEstimator::new(),
+                &flat,
+                dim,
+                num_partitions,
+                analysis,
+                &mut trace,
+            )?,
+            EstimatorKind::ZScore => coordinated_scores(
+                ZScoreEstimator::new(),
+                &flat,
+                dim,
+                num_partitions,
+                analysis,
+                &mut trace,
+            )?,
             EstimatorKind::Mcd => coordinated_scores(
                 McdEstimator::with_defaults(),
                 &flat,
                 dim,
                 num_partitions,
                 analysis,
+                &mut trace,
             )?,
             EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
         };
@@ -510,46 +639,69 @@ pub(crate) fn execute_coordinated(
         let mut encoder = encoder_for(analysis);
         let attribute_rows: Vec<&[String]> =
             points.iter().map(|p| p.attributes.as_slice()).collect();
+        let timer = trace.start();
         let batch = encode_batch_parallel(
             &mut encoder,
             mb_pool::global(),
             &attribute_rows,
             num_partitions,
         );
+        trace.finish_stage(timer, stage::ENCODE, points.len(), batch.len(), num_partitions);
 
         // Scatter: per-partition pre-render explanation state over
-        // contiguous row ranges of the columnar batch.
+        // contiguous row ranges of the columnar batch. When tracing, each
+        // task also owns a metric-registry shard (rows observed, tasks run),
+        // merged below alongside the explanation states themselves — both
+        // ride the same coordination-free scatter/merge algebra.
         let chunk_rows = batch.len().div_ceil(num_partitions).max(1);
         let ranges: Vec<(usize, usize)> = (0..batch.len())
             .step_by(chunk_rows)
             .map(|start| (start, (start + chunk_rows).min(batch.len())))
             .collect();
         let (batch_ref, labels_ref) = (&batch, &labels);
-        let states: Vec<ExplainState> = scatter(ranges, |(start, end)| {
+        let tracing = trace.is_enabled();
+        let timer = trace.start();
+        let states: Vec<(ExplainState, MetricRegistry)> = scatter(ranges, |(start, end)| {
             let mut state = ExplainState::new();
             for (r, &label) in labels_ref.iter().enumerate().take(end).skip(start) {
                 state.observe(batch_ref.row(r), label);
             }
-            state
+            let mut shard = MetricRegistry::new();
+            if tracing {
+                shard.add("explain_rows", (end - start) as u64);
+                shard.add("explain_tasks", 1);
+            }
+            (state, shard)
         });
+        let explain_batches = states.len();
 
         // Gather: merge on items, then threshold on the merged counts.
         let mut merged = ExplainState::new();
-        for state in states {
+        for (state, shard) in states {
             merged.merge(state);
+            trace.merge_registry(shard);
         }
         let explainer = BatchExplainer::new(analysis.explanation);
         let mut explanations = explainer.explain_state(&merged);
         rank_explanations(&mut explanations);
-        explanations
+        let rendered: Vec<RenderedExplanation> = explanations
             .into_iter()
             .map(|e| RenderedExplanation {
                 attributes: encoder.describe(&e.items),
                 items: e.items,
                 stats: e.stats,
             })
-            .collect()
+            .collect();
+        trace.finish_stage(
+            timer,
+            stage::EXPLAIN,
+            points.len(),
+            rendered.len(),
+            explain_batches,
+        );
+        rendered
     };
+    record_pool_delta(&mut trace, pool_before);
 
     Ok(MdpReport {
         explanations,
@@ -571,6 +723,7 @@ pub(crate) fn execute_coordinated(
             Vec::new()
         },
         partition_reports: None,
+        trace: trace.finish(),
     })
 }
 
@@ -620,18 +773,33 @@ pub(crate) fn execute_naive(
         return Err(PipelineError::EmptyInput);
     }
     let num_partitions = resolve_num_partitions(num_partitions);
+    let mut trace = TraceBuilder::new(parts.analysis.obs, "naive");
+    trace.set_partitions(num_partitions);
+    let pool_before = pool_snapshot(&trace);
     let chunks = partition_chunks(points, num_partitions);
 
     // Run each partition as its own pool task (shared-nothing: each gets its
-    // own classifier and explainer and sees only its chunk).
+    // own classifier and explainer and sees only its chunk). Sub-executions
+    // record their own per-partition traces but skip the global pool delta —
+    // only this top-level trace snapshots the pool, so task counts are not
+    // double-counted.
+    let timer = trace.start();
     let results: Vec<Result<(Vec<Classification>, MdpReport)>> =
-        scatter(chunks, |chunk| execute_one_shot(parts, chunk));
+        scatter(chunks, |chunk| execute_one_shot_impl(parts, chunk, false));
 
     let mut partition_reports = Vec::with_capacity(results.len());
     for r in results {
         partition_reports.push(r?.1);
     }
+    trace.finish_stage(
+        timer,
+        "execute",
+        points.len(),
+        points.len(),
+        partition_reports.len(),
+    );
 
+    let timer = trace.start();
     let merged = merge_rendered_explanations(&partition_reports);
     let num_outliers = partition_reports.iter().map(|r| r.num_outliers).sum();
     let scores: Vec<f64> = if parts.analysis.retain_scores {
@@ -656,6 +824,14 @@ pub(crate) fn execute_naive(
     } else {
         Vec::new()
     };
+    trace.finish_stage(
+        timer,
+        stage::MERGE,
+        partition_reports.iter().map(|r| r.explanations.len()).sum(),
+        merged.len(),
+        partition_reports.len(),
+    );
+    record_pool_delta(&mut trace, pool_before);
 
     Ok(MdpReport {
         explanations: merged,
@@ -665,6 +841,7 @@ pub(crate) fn execute_naive(
         scores,
         outlier_rows,
         partition_reports: Some(partition_reports),
+        trace: trace.finish(),
     })
 }
 
@@ -790,5 +967,107 @@ mod tests {
 
     fn run(mut query: MdpQuery, executor: &Executor, points: &[Point]) -> MdpReport {
         query.execute(executor, points).unwrap()
+    }
+
+    fn traced_query() -> MdpQuery {
+        MdpQuery::builder()
+            .explanation(ExplanationConfig::new(0.01, 3.0))
+            .attribute_names(vec!["device_id".to_string()])
+            .traced()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn untraced_reports_carry_no_trace() {
+        let points = workload(4_000);
+        for executor in [
+            Executor::OneShot,
+            Executor::Coordinated { partitions: 2 },
+            Executor::NaivePartitioned { partitions: 2 },
+            Executor::streaming(),
+        ] {
+            let report = run(query(), &executor, &points);
+            assert!(report.trace.is_none(), "{} traced by default", executor.name());
+        }
+    }
+
+    #[test]
+    fn tracing_populates_every_backend_and_changes_nothing_else() {
+        let points = workload(4_000);
+        for executor in [
+            Executor::OneShot,
+            Executor::Coordinated { partitions: 2 },
+            Executor::NaivePartitioned { partitions: 2 },
+            Executor::streaming(),
+        ] {
+            let untraced = run(query(), &executor, &points);
+            let mut traced = run(traced_query(), &executor, &points);
+            let trace = traced.trace.take().expect("trace populated");
+            assert!(!trace.stages.is_empty(), "{} recorded no stages", executor.name());
+            // Stripped of telemetry, the traced report is the untraced one.
+            if let Some(partitions) = traced.partition_reports.as_mut() {
+                for p in partitions {
+                    assert!(p.trace.is_some(), "naive partition lost its trace");
+                    p.trace = None;
+                }
+            }
+            assert_eq!(traced, untraced, "{} result drifted under tracing", executor.name());
+        }
+    }
+
+    #[test]
+    fn coordinated_trace_counters_are_partition_invariant() {
+        // The scatter shards' merged row counters must equal the input size
+        // at every fan-out — the partition-count analogue of the pool's
+        // thread-count sum-equality test.
+        let points = workload(6_000);
+        for partitions in [1, 2, 4] {
+            let report = run(
+                traced_query(),
+                &Executor::Coordinated { partitions },
+                &points,
+            );
+            let trace = report.trace.expect("trace populated");
+            assert_eq!(trace.executor, "coordinated");
+            assert_eq!(trace.partitions, partitions as u64);
+            assert_eq!(trace.counter("score_rows"), 6_000);
+            assert_eq!(trace.counter("explain_rows"), 6_000);
+            assert_eq!(trace.counter("score_tasks"), trace.stage("score").unwrap().batches);
+            assert!(trace.gauge("pool_workers").is_some());
+            for name in ["train", "score", "encode", "explain"] {
+                assert!(trace.stage(name).is_some(), "missing stage {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_trace_records_the_pipeline_stages() {
+        let points = workload(4_000);
+        let report = run(traced_query(), &Executor::OneShot, &points);
+        let trace = report.trace.expect("trace populated");
+        assert_eq!(trace.executor, "one-shot");
+        for name in ["flatten", "train", "score", "encode", "explain"] {
+            assert!(trace.stage(name).is_some(), "missing stage {name}");
+        }
+        let score = trace.stage("score").unwrap();
+        assert_eq!(score.rows_in, 4_000);
+        assert_eq!(score.rows_out as usize, report.num_outliers);
+    }
+
+    #[test]
+    fn streaming_trace_reports_staleness_and_tick_costs() {
+        let points = workload(30_000);
+        let report = run(traced_query(), &Executor::streaming(), &points);
+        let trace = report.trace.expect("trace populated");
+        assert_eq!(trace.executor, "streaming");
+        assert_eq!(trace.counter("points"), 30_000);
+        let score = trace.stage("score").unwrap();
+        assert_eq!(score.rows_in, 30_000);
+        assert!(score.wall_ns > 0);
+        // Warm-up plus periodic retrains all land in the histogram.
+        let retrains = trace.histogram("retrain_ns").expect("retrain histogram");
+        assert!(retrains.count >= 1);
+        assert!(trace.gauge("model_staleness").is_some());
     }
 }

@@ -69,6 +69,7 @@ pub mod wire;
 
 pub use executor::{MdpClassifier, MdpExplainer};
 pub use mb_classify::{Classification, Label};
+pub use mb_obs::{ObsConfig, QueryTrace};
 pub use parallel::default_num_partitions;
 pub use query::{AnalysisConfig, EstimatorKind, Executor, MdpQuery, MdpQueryBuilder, StreamingOptions};
 pub use streaming::StreamingSession;

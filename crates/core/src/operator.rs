@@ -413,6 +413,22 @@ mod tests {
     }
 
     #[test]
+    fn strict_csv_ingest_errors_carry_line_and_column_context() {
+        // Malformed row mid-file: header is line 1, the bad metric sits on
+        // line 4. The surfaced PipelineError::Ingest message must say so.
+        let csv = "power,device\n1.0,a\n2.0,b\nbad,c\n3.0,d\n";
+        let query =
+            CsvQuery::new(vec!["power".to_string()], vec!["device".to_string()]).strict();
+        let mut ingestor = CsvIngestor::new(std::io::Cursor::new(csv), &query, 16).unwrap();
+        let err = ingestor.next_batch().unwrap_err();
+        assert!(matches!(err, crate::PipelineError::Ingest(_)));
+        let message = err.to_string();
+        assert!(message.contains("line 4"), "no position in: {message}");
+        assert!(message.contains("power"), "no column in: {message}");
+        assert!(message.contains("bad"), "no offending value in: {message}");
+    }
+
+    #[test]
     fn csv_ingestor_rejects_unknown_columns_eagerly() {
         let query = CsvQuery::new(vec!["nope".to_string()], vec![]);
         assert!(CsvIngestor::new(std::io::Cursor::new("a,b\n1,2\n"), &query, 8).is_err());

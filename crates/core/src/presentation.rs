@@ -120,6 +120,7 @@ mod tests {
             scores: vec![],
             outlier_rows: vec![],
             partition_reports: None,
+            trace: None,
         }
     }
 
@@ -150,6 +151,7 @@ mod tests {
             scores: vec![],
             outlier_rows: vec![],
             partition_reports: None,
+            trace: None,
         };
         let text = render_report(&report, 5);
         assert!(text.contains("no explanations"));

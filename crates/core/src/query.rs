@@ -124,6 +124,12 @@ pub struct AnalysisConfig {
     /// Whether to skip explanation entirely (Table 2 reports throughput both
     /// with and without explanation).
     pub skip_explanation: bool,
+    /// Telemetry switch. Off by default: reports carry `trace: None` and
+    /// stay byte-identical to pre-telemetry output. When enabled, every
+    /// backend attaches a [`mb_obs::QueryTrace`] (per-stage wall times,
+    /// row/batch movement, merged pool and engine counters) to
+    /// [`MdpReport::trace`].
+    pub obs: mb_obs::ObsConfig,
 }
 
 impl Default for AnalysisConfig {
@@ -137,6 +143,7 @@ impl Default for AnalysisConfig {
             retain_scores: false,
             retain_outlier_rows: false,
             skip_explanation: false,
+            obs: mb_obs::ObsConfig::default(),
         }
     }
 }
@@ -407,15 +414,31 @@ impl MdpQuery {
             // — ids, scores, threshold, explanations — is exactly what the
             // materializing path below produces.
             Executor::OneShot if self.transformers.is_empty() => {
+                let mut trace =
+                    mb_obs::TraceBuilder::new(self.analysis.obs, "one-shot");
                 let mut encoder = encoder_for(&self.analysis);
                 let mut all = crate::operator::EncodedBatch::default();
+                let timer = trace.start();
+                let mut batches = 0usize;
                 while let Some(batch) = source.next_encoded_batch(&mut encoder)? {
                     all.append(&batch)?;
+                    batches += 1;
                 }
                 if all.is_empty() {
                     return Err(PipelineError::EmptyInput);
                 }
-                execute_one_shot_encoded(self.parts(), &all.metrics, all.dim, &all.items, &encoder)
+                // The fast path encodes *during* ingestion, so one span
+                // covers both stages of the paper pipeline.
+                let rows = all.len();
+                trace.finish_stage(timer, mb_obs::stage::INGEST, rows, rows, batches);
+                execute_one_shot_encoded(
+                    self.parts(),
+                    &all.metrics,
+                    all.dim,
+                    &all.items,
+                    &encoder,
+                    trace,
+                )
             }
             batch_executor => {
                 let mut all = Vec::new();
@@ -549,6 +572,18 @@ impl MdpQueryBuilder {
     pub fn skip_explanation(mut self) -> Self {
         self.analysis.skip_explanation = true;
         self
+    }
+
+    /// Set the telemetry switch ([`AnalysisConfig::obs`]).
+    pub fn obs(mut self, obs: mb_obs::ObsConfig) -> Self {
+        self.analysis.obs = obs;
+        self
+    }
+
+    /// Enable telemetry: the report will carry a populated
+    /// [`MdpReport::trace`].
+    pub fn traced(self) -> Self {
+        self.obs(mb_obs::ObsConfig::enabled())
     }
 
     /// Append a feature transformation stage (applied in insertion order).

@@ -18,9 +18,11 @@ use mb_explain::encoder::AttributeEncoder;
 use mb_explain::risk_ratio::rank_explanations;
 use mb_explain::streaming::{StreamingExplainer, StreamingExplainerConfig};
 use mb_explain::ExplanationConfig;
+use mb_obs::{stage, MetricRegistry, QueryTrace, StageTrace};
 use mb_stats::mad::MadEstimator;
 use mb_stats::mcd::McdEstimator;
 use mb_stats::zscore::ZScoreEstimator;
+use std::time::Instant;
 
 /// Dispatch between the concrete streaming classifiers, chosen from the
 /// configured estimator resolved against the first observed point's
@@ -56,6 +58,16 @@ pub(crate) struct StreamingEngine {
     outliers_seen: u64,
     outlier_rows: Vec<usize>,
     points_since_decay: u64,
+    /// Telemetry switch mirrored from [`AnalysisConfig::obs`]. When off
+    /// (the default) the observe loop takes no clock reads and the report
+    /// carries `trace: None`.
+    obs_enabled: bool,
+    /// Engine-owned metric shard: per-tick retrain and decay latency
+    /// histograms. Single-threaded here, but the same mergeable shape the
+    /// batch engines fold across workers.
+    metrics: MetricRegistry,
+    /// Accumulated wall time inside [`StreamingEngine::observe`].
+    observe_wall_ns: u64,
 }
 
 impl StreamingEngine {
@@ -92,6 +104,9 @@ impl StreamingEngine {
             outliers_seen: 0,
             outlier_rows: Vec::new(),
             points_since_decay: 0,
+            obs_enabled: analysis.obs.is_enabled(),
+            metrics: MetricRegistry::new(),
+            observe_wall_ns: 0,
         }
     }
 
@@ -108,7 +123,19 @@ impl StreamingEngine {
         }
     }
 
+    /// Points since the model last (re)trained — 0 right after a retrain,
+    /// so a tick ending at 0 is the tick that retrained.
+    fn model_staleness(&self) -> u64 {
+        match &self.model {
+            Some(StreamingModel::Mad(c)) => c.points_since_retrain(),
+            Some(StreamingModel::Mcd(c)) => c.points_since_retrain(),
+            Some(StreamingModel::ZScore(c)) => c.points_since_retrain(),
+            None => 0,
+        }
+    }
+
     pub(crate) fn observe(&mut self, point: &Point) -> Result<Label> {
+        let tick_start = self.obs_enabled.then(Instant::now);
         self.points_seen += 1;
         self.points_since_decay += 1;
 
@@ -159,10 +186,21 @@ impl StreamingEngine {
             self.points_since_decay = 0;
             self.on_period_boundary();
         }
+        if let Some(start) = tick_start {
+            let tick_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.observe_wall_ns = self.observe_wall_ns.saturating_add(tick_ns);
+            // The classifier resets its staleness counter inside a retrain,
+            // so a tick that ends at staleness 0 is the tick that paid for
+            // one — attribute its full latency to the retrain histogram.
+            if self.unsupervised && self.model_staleness() == 0 {
+                self.metrics.record_ns("retrain_ns", tick_ns);
+            }
+        }
         Ok(label)
     }
 
     pub(crate) fn on_period_boundary(&mut self) {
+        let decay_start = self.obs_enabled.then(Instant::now);
         if let Some(model) = self.model.as_mut() {
             match model {
                 StreamingModel::Mad(c) => c.on_period_boundary(),
@@ -172,6 +210,9 @@ impl StreamingEngine {
         }
         if !self.skip_explanation {
             self.explainer.on_window_boundary();
+        }
+        if let Some(start) = decay_start {
+            self.metrics.record("decay_ns", start.elapsed());
         }
     }
 
@@ -224,7 +265,37 @@ impl StreamingEngine {
             scores: Vec::new(),
             outlier_rows: self.outlier_rows.clone(),
             partition_reports: None,
+            trace: self.trace(),
         }
+    }
+
+    /// Render the engine's accumulated telemetry as a [`QueryTrace`] —
+    /// `None` when telemetry is off. Reports can be rendered mid-stream, so
+    /// this snapshots rather than consumes: the engine keeps accumulating.
+    fn trace(&self) -> Option<QueryTrace> {
+        if !self.obs_enabled {
+            return None;
+        }
+        let mut registry = self.metrics.clone();
+        registry.add("points", self.points_seen);
+        registry.add("outliers", self.outliers_seen);
+        registry.set_gauge("model_staleness", self.model_staleness() as f64);
+        Some(QueryTrace {
+            executor: "streaming".to_string(),
+            partitions: 1,
+            // One synthetic span: the streaming engine scores point-at-a-time,
+            // so the whole observe loop is its `score` stage.
+            stages: vec![StageTrace {
+                stage: stage::SCORE.to_string(),
+                wall_ns: self.observe_wall_ns,
+                rows_in: self.points_seen,
+                rows_out: self.outliers_seen,
+                batches: 1,
+            }],
+            counters: registry.counter_entries(),
+            gauges: registry.gauge_entries(),
+            histograms: registry.histogram_snapshots(),
+        })
     }
 }
 

@@ -94,6 +94,15 @@ pub struct MdpReport {
     /// order (each with its own local score cutoff). `None` for the
     /// single-model backends, whose report is already global.
     pub partition_reports: Option<Vec<MdpReport>>,
+    /// Telemetry recorded while this report was produced: per-stage wall
+    /// times, row/batch movement, and merged engine counters. `None` unless
+    /// the query ran with [`ObsConfig`] enabled (the default is off, keeping
+    /// reports byte-identical to untraced runs). The naïve partitioned
+    /// backend also attaches a per-partition trace to each entry of
+    /// [`MdpReport::partition_reports`].
+    ///
+    /// [`ObsConfig`]: mb_obs::ObsConfig
+    pub trace: Option<mb_obs::QueryTrace>,
 }
 
 impl MdpReport {
@@ -140,6 +149,7 @@ mod tests {
             scores: vec![],
             outlier_rows: vec![],
             partition_reports: None,
+            trace: None,
         };
         assert!((report.outlier_fraction() - 0.01).abs() < 1e-12);
         let empty = MdpReport {
@@ -150,6 +160,7 @@ mod tests {
             scores: vec![],
             outlier_rows: vec![],
             partition_reports: None,
+            trace: None,
         };
         assert_eq!(empty.outlier_fraction(), 0.0);
     }

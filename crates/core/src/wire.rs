@@ -34,6 +34,7 @@
 use crate::types::{MdpReport, RenderedExplanation};
 use mb_explain::risk_ratio::ExplanationStats;
 use mb_fpgrowth::Item;
+use mb_obs::{HistogramSnapshot, QueryTrace, StageTrace};
 use serde_json::{Map, Value};
 
 /// Error produced when decoding a report from JSON that does not match the
@@ -98,6 +99,23 @@ fn usize_from_value(value: &Value, field: &str) -> Result<usize, WireError> {
         return Err(WireError::new(field, "expected a non-negative integer"));
     }
     Ok(n as usize)
+}
+
+fn u64_from_value(value: &Value, field: &str) -> Result<u64, WireError> {
+    let n = value
+        .as_f64()
+        .ok_or_else(|| WireError::new(field, "expected an integer"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(WireError::new(field, "expected a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn string_from_value(value: &Value, field: &str) -> Result<String, WireError> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| WireError::new(field, "expected a string"))
 }
 
 fn array<'a>(value: &'a Value, field: &str) -> Result<&'a [Value], WireError> {
@@ -214,6 +232,193 @@ fn explanation_from_json(
     })
 }
 
+fn stage_to_json(stage: &StageTrace) -> Value {
+    let mut map = Map::new();
+    map.insert("stage".to_string(), Value::String(stage.stage.clone()));
+    map.insert("wall_ns".to_string(), Value::from(stage.wall_ns));
+    map.insert("rows_in".to_string(), Value::from(stage.rows_in));
+    map.insert("rows_out".to_string(), Value::from(stage.rows_out));
+    map.insert("batches".to_string(), Value::from(stage.batches));
+    Value::Object(map)
+}
+
+fn stage_from_json(value: &Value, context: &str) -> Result<StageTrace, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected a stage object"))?;
+    let prefix = format!("{context}.");
+    let get = |name: &str| -> Result<u64, WireError> {
+        u64_from_value(field(map, name, &prefix)?, &format!("{context}.{name}"))
+    };
+    Ok(StageTrace {
+        stage: string_from_value(field(map, "stage", &prefix)?, &format!("{context}.stage"))?,
+        wall_ns: get("wall_ns")?,
+        rows_in: get("rows_in")?,
+        rows_out: get("rows_out")?,
+        batches: get("batches")?,
+    })
+}
+
+fn histogram_to_json(snapshot: &HistogramSnapshot) -> Value {
+    let mut map = Map::new();
+    map.insert("name".to_string(), Value::String(snapshot.name.clone()));
+    map.insert("count".to_string(), Value::from(snapshot.count));
+    map.insert("sum_ns".to_string(), Value::from(snapshot.sum_ns));
+    map.insert("max_ns".to_string(), Value::from(snapshot.max_ns));
+    map.insert(
+        "buckets".to_string(),
+        Value::Array(
+            snapshot
+                .buckets
+                .iter()
+                .map(|&(exp, count)| {
+                    Value::Array(vec![Value::from(exp), Value::from(count)])
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+fn histogram_from_json(value: &Value, context: &str) -> Result<HistogramSnapshot, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected a histogram object"))?;
+    let prefix = format!("{context}.");
+    let buckets = array(
+        field(map, "buckets", &prefix)?,
+        &format!("{context}.buckets"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| {
+        let bucket_field = format!("{context}.buckets[{i}]");
+        let pair = array(v, &bucket_field)?;
+        if pair.len() != 2 {
+            return Err(WireError::new(bucket_field, "expected an [exponent, count] pair"));
+        }
+        let exp = u64_from_value(&pair[0], &format!("{bucket_field}[0]"))?;
+        let exp = u32::try_from(exp)
+            .map_err(|_| WireError::new(format!("{bucket_field}[0]"), "exponent out of range"))?;
+        let count = u64_from_value(&pair[1], &format!("{bucket_field}[1]"))?;
+        Ok((exp, count))
+    })
+    .collect::<Result<Vec<(u32, u64)>, WireError>>()?;
+    Ok(HistogramSnapshot {
+        name: string_from_value(field(map, "name", &prefix)?, &format!("{context}.name"))?,
+        count: u64_from_value(field(map, "count", &prefix)?, &format!("{context}.count"))?,
+        sum_ns: u64_from_value(field(map, "sum_ns", &prefix)?, &format!("{context}.sum_ns"))?,
+        max_ns: u64_from_value(field(map, "max_ns", &prefix)?, &format!("{context}.max_ns"))?,
+        buckets,
+    })
+}
+
+fn trace_to_json(trace: &QueryTrace) -> Value {
+    let mut map = Map::new();
+    map.insert("executor".to_string(), Value::String(trace.executor.clone()));
+    map.insert("partitions".to_string(), Value::from(trace.partitions));
+    map.insert(
+        "stages".to_string(),
+        Value::Array(trace.stages.iter().map(stage_to_json).collect()),
+    );
+    map.insert(
+        "counters".to_string(),
+        Value::Array(
+            trace
+                .counters
+                .iter()
+                .map(|(name, v)| {
+                    Value::Array(vec![Value::String(name.clone()), Value::from(*v)])
+                })
+                .collect(),
+        ),
+    );
+    map.insert(
+        "gauges".to_string(),
+        Value::Array(
+            trace
+                .gauges
+                .iter()
+                .map(|(name, v)| {
+                    Value::Array(vec![Value::String(name.clone()), f64_to_value(*v)])
+                })
+                .collect(),
+        ),
+    );
+    map.insert(
+        "histograms".to_string(),
+        Value::Array(trace.histograms.iter().map(histogram_to_json).collect()),
+    );
+    Value::Object(map)
+}
+
+fn trace_from_json(value: &Value, context: &str) -> Result<QueryTrace, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected a trace object"))?;
+    let prefix = format!("{context}.");
+    let stages = array(field(map, "stages", &prefix)?, &format!("{context}.stages"))?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| stage_from_json(v, &format!("{context}.stages[{i}]")))
+        .collect::<Result<Vec<StageTrace>, WireError>>()?;
+    let counters = array(
+        field(map, "counters", &prefix)?,
+        &format!("{context}.counters"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| {
+        let pair_field = format!("{context}.counters[{i}]");
+        let pair = array(v, &pair_field)?;
+        if pair.len() != 2 {
+            return Err(WireError::new(pair_field, "expected a [name, value] pair"));
+        }
+        Ok((
+            string_from_value(&pair[0], &format!("{pair_field}[0]"))?,
+            u64_from_value(&pair[1], &format!("{pair_field}[1]"))?,
+        ))
+    })
+    .collect::<Result<Vec<(String, u64)>, WireError>>()?;
+    let gauges = array(field(map, "gauges", &prefix)?, &format!("{context}.gauges"))?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let pair_field = format!("{context}.gauges[{i}]");
+            let pair = array(v, &pair_field)?;
+            if pair.len() != 2 {
+                return Err(WireError::new(pair_field, "expected a [name, value] pair"));
+            }
+            Ok((
+                string_from_value(&pair[0], &format!("{pair_field}[0]"))?,
+                f64_from_value(&pair[1], &format!("{pair_field}[1]"))?,
+            ))
+        })
+        .collect::<Result<Vec<(String, f64)>, WireError>>()?;
+    let histograms = array(
+        field(map, "histograms", &prefix)?,
+        &format!("{context}.histograms"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| histogram_from_json(v, &format!("{context}.histograms[{i}]")))
+    .collect::<Result<Vec<HistogramSnapshot>, WireError>>()?;
+    Ok(QueryTrace {
+        executor: string_from_value(
+            field(map, "executor", &prefix)?,
+            &format!("{context}.executor"),
+        )?,
+        partitions: u64_from_value(
+            field(map, "partitions", &prefix)?,
+            &format!("{context}.partitions"),
+        )?,
+        stages,
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 /// Encode a report (including recursive partition detail) as a JSON value.
 pub fn report_to_json(report: &MdpReport) -> Value {
     let mut map = Map::new();
@@ -242,6 +447,13 @@ pub fn report_to_json(report: &MdpReport) -> Value {
         "partition_reports".to_string(),
         match &report.partition_reports {
             Some(reports) => Value::Array(reports.iter().map(report_to_json).collect()),
+            None => Value::Null,
+        },
+    );
+    map.insert(
+        "trace".to_string(),
+        match &report.trace {
+            Some(trace) => trace_to_json(trace),
             None => Value::Null,
         },
     );
@@ -303,6 +515,10 @@ fn report_from_json_at(value: &Value, context: &str) -> Result<MdpReport, WireEr
                 .collect::<Result<Vec<MdpReport>, WireError>>()?,
         ),
     };
+    let trace = match field(map, "trace", &prefix)? {
+        Value::Null => None,
+        other => Some(trace_from_json(other, &format!("{context}.trace"))?),
+    };
     Ok(MdpReport {
         explanations,
         num_points,
@@ -311,6 +527,7 @@ fn report_from_json_at(value: &Value, context: &str) -> Result<MdpReport, WireEr
         scores,
         outlier_rows,
         partition_reports,
+        trace,
     })
 }
 
@@ -350,6 +567,7 @@ mod tests {
             scores: vec![0.5, 12.75, 0.125],
             outlier_rows: vec![1, 4_096],
             partition_reports: None,
+            trace: None,
         }
     }
 

@@ -30,14 +30,20 @@ use std::io::Read;
 use std::process::ExitCode;
 
 /// Keys whose values depend on wall clock and may vary freely across runs.
+/// Telemetry keys (`trace`, stage `*_ms`/`*_ns` timings, idle counters) are
+/// volatile too: a traced run diffs cleanly against an untraced baseline.
 fn is_volatile(key: &str) -> bool {
     key == "seconds"
         || key.ends_with("_seconds")
         || key.ends_with("_per_s")
         || key.ends_with("_per_second")
         || key.ends_with("_us")
+        || key.ends_with("_ms")
+        || key.ends_with("_ns")
         || key.contains("throughput")
         || key.contains("speedup")
+        || key.contains("idle")
+        || key == "trace"
 }
 
 fn arg_value(name: &str) -> Option<String> {
@@ -94,7 +100,9 @@ fn compare_rows(
     };
     let mut keys: Vec<&String> = expected.iter().map(|(k, _)| k).collect();
     for (key, _) in actual.iter() {
-        if expected.get(key).is_none() {
+        // Volatile keys may appear only in the actual run (e.g. the `*_ms`
+        // timings a traced run adds on top of an untraced baseline's shape).
+        if expected.get(key).is_none() && !is_volatile(key) {
             mismatches.push(format!("row {index}: unexpected key {key:?}"));
         }
     }

@@ -59,6 +59,12 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Whether a bare boolean flag (e.g. `--trace`) is present on the command
+/// line.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// Apply a `--threads N` argument (if present) to the global work-stealing
 /// pool, before anything has touched it; returns the pool's actual size.
 /// Call this at the top of `main` in harness binaries — once the pool

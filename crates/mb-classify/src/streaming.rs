@@ -159,6 +159,13 @@ impl<E: Estimator> StreamingClassifier<E> {
         self.total_points
     }
 
+    /// Points observed since the model was last (re)trained — the model
+    /// staleness a monitoring layer wants to watch. Resets to 0 on every
+    /// [`StreamingClassifier::retrain`], including warm-up training.
+    pub fn points_since_retrain(&self) -> u64 {
+        self.points_since_retrain
+    }
+
     /// The current score cutoff, if available.
     pub fn current_cutoff(&mut self) -> Option<f64> {
         self.threshold.cutoff().ok()

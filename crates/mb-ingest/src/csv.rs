@@ -4,7 +4,9 @@
 //! module provides the CSV path. The reader handles the common cases the
 //! evaluation data needs — headers, configurable delimiter, quoted fields —
 //! and maps named columns onto metrics and attributes, skipping rows whose
-//! metric cells fail to parse (with a count of how many were skipped).
+//! metric cells fail to parse (with a count of how many were skipped). In
+//! [strict mode](CsvQuery::strict) a malformed row is instead an error that
+//! carries its line number and the offending column.
 
 use crate::Record;
 use std::io::BufRead;
@@ -18,6 +20,17 @@ pub enum CsvError {
     MissingHeader,
     /// A requested column name was not present in the header.
     UnknownColumn(String),
+    /// A data row could not be parsed ([strict mode](CsvQuery::strict) only;
+    /// by default malformed rows are skipped and counted).
+    MalformedRow {
+        /// 1-based line number in the input (the header is line 1).
+        line: usize,
+        /// Name of the column that failed.
+        column: String,
+        /// The offending cell text, or `None` when the field was missing
+        /// from the row entirely.
+        value: Option<String>,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -26,6 +39,19 @@ impl std::fmt::Display for CsvError {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
             CsvError::MissingHeader => write!(f, "CSV input has no header row"),
             CsvError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            CsvError::MalformedRow {
+                line,
+                column,
+                value: Some(value),
+            } => write!(
+                f,
+                "line {line}: metric column {column:?} has unparseable value {value:?}"
+            ),
+            CsvError::MalformedRow {
+                line,
+                column,
+                value: None,
+            } => write!(f, "line {line}: row is missing column {column:?}"),
         }
     }
 }
@@ -48,6 +74,10 @@ pub struct CsvQuery {
     pub attribute_columns: Vec<String>,
     /// Field delimiter (default `,`).
     pub delimiter: char,
+    /// Fail on the first malformed data row instead of skipping it
+    /// (default `false`). The resulting [`CsvError::MalformedRow`] carries
+    /// the 1-based line number and the column that failed.
+    pub strict: bool,
 }
 
 impl CsvQuery {
@@ -57,7 +87,14 @@ impl CsvQuery {
             metric_columns,
             attribute_columns,
             delimiter: ',',
+            strict: false,
         }
+    }
+
+    /// Turn malformed data rows into positioned errors instead of skips.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
     }
 }
 
@@ -142,9 +179,17 @@ pub struct CsvReader<R: BufRead> {
     /// recycled across records.
     fields: Vec<String>,
     delimiter: char,
+    strict: bool,
     metric_idx: Vec<usize>,
     attribute_idx: Vec<usize>,
+    /// Column names parallel to the index vectors, kept for error context
+    /// (read only when a row is malformed, never on the hot path).
+    metric_names: Vec<String>,
+    attribute_names: Vec<String>,
     skipped_rows: usize,
+    /// 1-based line number of the most recently read line (the header is
+    /// line 1).
+    line_number: usize,
 }
 
 impl<R: BufRead> CsvReader<R> {
@@ -180,9 +225,13 @@ impl<R: BufRead> CsvReader<R> {
             line,
             fields: Vec::new(),
             delimiter: query.delimiter,
+            strict: query.strict,
             metric_idx,
             attribute_idx,
+            metric_names: query.metric_columns.clone(),
+            attribute_names: query.attribute_columns.clone(),
             skipped_rows: 0,
+            line_number: 1,
         })
     }
 
@@ -192,50 +241,78 @@ impl<R: BufRead> CsvReader<R> {
         self.skipped_rows
     }
 
+    /// 1-based line number of the most recently read line (the header is
+    /// line 1, the first data row line 2).
+    pub fn line_number(&self) -> usize {
+        self.line_number
+    }
+
     /// The next successfully parsed record; `Ok(None)` at end of input.
-    /// Unparseable rows are skipped (and counted), I/O failures are errors.
+    /// Unparseable rows are skipped (and counted) — or, in
+    /// [strict mode](CsvQuery::strict), returned as
+    /// [`CsvError::MalformedRow`] with line and column context. I/O
+    /// failures are always errors.
     pub fn next_record(&mut self) -> Result<Option<Record>, CsvError> {
         loop {
             self.line.clear();
             if self.reader.read_line(&mut self.line)? == 0 {
                 return Ok(None);
             }
+            self.line_number += 1;
             let line = strip_line_ending(&self.line);
             if line.trim().is_empty() {
                 continue;
             }
             let used = split_line_into(line, self.delimiter, &mut self.fields);
             let fields = &self.fields[..used];
+            // On failure: which column (by position in the query's list)
+            // and the offending cell, if the field was present at all.
+            let mut bad: Option<(usize, bool, Option<String>)> = None;
             let mut metrics = Vec::with_capacity(self.metric_idx.len());
-            let mut ok = true;
-            for &idx in &self.metric_idx {
-                match fields.get(idx).and_then(|f| f.trim().parse::<f64>().ok()) {
-                    Some(v) if v.is_finite() => metrics.push(v),
-                    _ => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if !ok {
-                self.skipped_rows += 1;
-                continue;
-            }
-            let mut attributes = Vec::with_capacity(self.attribute_idx.len());
-            for &idx in &self.attribute_idx {
+            for (slot, &idx) in self.metric_idx.iter().enumerate() {
                 match fields.get(idx) {
-                    Some(value) => attributes.push(value.trim().to_string()),
+                    Some(cell) => match cell.trim().parse::<f64>() {
+                        Ok(v) if v.is_finite() => metrics.push(v),
+                        _ => {
+                            bad = Some((slot, true, Some(cell.trim().to_string())));
+                            break;
+                        }
+                    },
                     None => {
-                        ok = false;
+                        bad = Some((slot, true, None));
                         break;
                     }
                 }
             }
-            if !ok {
-                self.skipped_rows += 1;
-                continue;
+            if bad.is_none() {
+                let mut attributes = Vec::with_capacity(self.attribute_idx.len());
+                for (slot, &idx) in self.attribute_idx.iter().enumerate() {
+                    match fields.get(idx) {
+                        Some(value) => attributes.push(value.trim().to_string()),
+                        None => {
+                            bad = Some((slot, false, None));
+                            break;
+                        }
+                    }
+                }
+                if bad.is_none() {
+                    return Ok(Some(Record::new(metrics, attributes)));
+                }
             }
-            return Ok(Some(Record::new(metrics, attributes)));
+            let (slot, is_metric, value) = bad.expect("checked above");
+            if self.strict {
+                let names = if is_metric {
+                    &self.metric_names
+                } else {
+                    &self.attribute_names
+                };
+                return Err(CsvError::MalformedRow {
+                    line: self.line_number,
+                    column: names[slot].clone(),
+                    value,
+                });
+            }
+            self.skipped_rows += 1;
         }
     }
 }
@@ -313,6 +390,68 @@ device_id,app_version,power_drain,trip_time
 B264,2.26.3,not_a_number,1200
 B101,2.26.3,12.0,900
 B102,2.26.3,NaN,900
+";
+        let result = ingest_csv_str(data, &query()).unwrap();
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.skipped_rows, 2);
+    }
+
+    #[test]
+    fn strict_mode_reports_line_and_column_of_a_malformed_row() {
+        // The bad row is mid-file: line 1 is the header, line 2 parses,
+        // line 3 is malformed, line 4 would parse.
+        let data = "\
+device_id,app_version,power_drain,trip_time
+B264,2.26.3,85.5,1200
+B101,2.26.3,not_a_number,900
+B264,2.25.0,13.5,1100
+";
+        let mut reader = CsvReader::new(std::io::Cursor::new(data), &query().strict()).unwrap();
+        assert!(reader.next_record().unwrap().is_some());
+        let err = reader.next_record().unwrap_err();
+        match &err {
+            CsvError::MalformedRow {
+                line,
+                column,
+                value,
+            } => {
+                assert_eq!(*line, 3);
+                assert_eq!(column, "power_drain");
+                assert_eq!(value.as_deref(), Some("not_a_number"));
+            }
+            other => panic!("expected MalformedRow, got {other:?}"),
+        }
+        let message = err.to_string();
+        assert!(message.contains("line 3"), "no position in: {message}");
+        assert!(message.contains("power_drain"), "no column in: {message}");
+    }
+
+    #[test]
+    fn strict_mode_reports_a_row_too_short_for_its_columns() {
+        let data = "\
+device_id,app_version,power_drain,trip_time
+B264,2.26.3
+";
+        let mut reader = CsvReader::new(std::io::Cursor::new(data), &query().strict()).unwrap();
+        let err = reader.next_record().unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::MalformedRow {
+                line: 2,
+                value: None,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("missing column"));
+    }
+
+    #[test]
+    fn default_mode_still_skips_the_rows_strict_mode_rejects() {
+        let data = "\
+device_id,app_version,power_drain,trip_time
+B264,2.26.3,85.5,1200
+B101,2.26.3,not_a_number,900
+B264,2.25.0
 ";
         let result = ingest_csv_str(data, &query()).unwrap();
         assert_eq!(result.records.len(), 1);

@@ -1,0 +1,165 @@
+//! JSON-lines export of query traces over the vendored `serde_json`.
+//!
+//! Two shapes are provided: [`trace_to_json`] renders a whole
+//! [`QueryTrace`] as one nested object (the same layout `core::wire` embeds
+//! in reports), and [`trace_to_json_lines`] flattens it into one small
+//! object per line — the format the reproduction binaries print under
+//! `--trace` (prefixed `TRACE: `), easy to grep and to ship to a log
+//! collector.
+
+use crate::histogram::HistogramSnapshot;
+use crate::trace::{QueryTrace, StageTrace};
+use serde_json::{json, Map, Value};
+
+fn finite(value: f64) -> Value {
+    if value.is_finite() {
+        Value::from(value)
+    } else {
+        Value::from(value.to_string())
+    }
+}
+
+fn stage_json(stage: &StageTrace) -> Value {
+    json!({
+        "stage": stage.stage,
+        "wall_ns": stage.wall_ns,
+        "rows_in": stage.rows_in,
+        "rows_out": stage.rows_out,
+        "batches": stage.batches,
+    })
+}
+
+fn histogram_json(snapshot: &HistogramSnapshot) -> Value {
+    let buckets: Vec<Value> = snapshot
+        .buckets
+        .iter()
+        .map(|&(exp, count)| Value::Array(vec![Value::from(exp), Value::from(count)]))
+        .collect();
+    json!({
+        "name": snapshot.name,
+        "count": snapshot.count,
+        "sum_ns": snapshot.sum_ns,
+        "max_ns": snapshot.max_ns,
+        "buckets": Value::Array(buckets),
+    })
+}
+
+/// Render a trace as one nested JSON object.
+pub fn trace_to_json(trace: &QueryTrace) -> Value {
+    let stages: Vec<Value> = trace.stages.iter().map(stage_json).collect();
+    let mut counters = Map::new();
+    for (name, value) in &trace.counters {
+        counters.insert(name.clone(), Value::from(*value));
+    }
+    let mut gauges = Map::new();
+    for (name, value) in &trace.gauges {
+        gauges.insert(name.clone(), finite(*value));
+    }
+    let histograms: Vec<Value> = trace.histograms.iter().map(histogram_json).collect();
+    json!({
+        "executor": trace.executor,
+        "partitions": trace.partitions,
+        "stages": Value::Array(stages),
+        "counters": Value::Object(counters),
+        "gauges": Value::Object(gauges),
+        "histograms": Value::Array(histograms),
+    })
+}
+
+/// Flatten a trace into JSON-lines: one object per stage, counter, gauge,
+/// and histogram, each tagged with `kind` and the executor name. Returns
+/// the lines joined with `\n` (no trailing newline).
+pub fn trace_to_json_lines(trace: &QueryTrace) -> String {
+    let mut lines = Vec::new();
+    for stage in &trace.stages {
+        let mut row = stage_json(stage);
+        annotate(&mut row, trace, "stage");
+        lines.push(row.to_string());
+    }
+    for (name, value) in &trace.counters {
+        let mut row = json!({"name": name, "value": Value::from(*value)});
+        annotate(&mut row, trace, "counter");
+        lines.push(row.to_string());
+    }
+    for (name, value) in &trace.gauges {
+        let mut row = json!({"name": name, "value": finite(*value)});
+        annotate(&mut row, trace, "gauge");
+        lines.push(row.to_string());
+    }
+    for snapshot in &trace.histograms {
+        let mut row = histogram_json(snapshot);
+        annotate(&mut row, trace, "histogram");
+        lines.push(row.to_string());
+    }
+    lines.join("\n")
+}
+
+/// Prefix `kind` and `executor` keys onto a flat row, keeping them first in
+/// the emitted object for scannability.
+fn annotate(row: &mut Value, trace: &QueryTrace, kind: &str) {
+    let mut tagged = Map::new();
+    tagged.insert("kind".to_string(), Value::from(kind));
+    tagged.insert("executor".to_string(), Value::from(trace.executor.as_str()));
+    if let Some(fields) = row.as_object() {
+        for (k, v) in fields.iter() {
+            tagged.insert(k.clone(), v.clone());
+        }
+    }
+    *row = Value::Object(tagged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, TraceBuilder};
+
+    fn sample_trace() -> QueryTrace {
+        let mut tb = TraceBuilder::new(ObsConfig::enabled(), "streaming");
+        let t = tb.start();
+        tb.finish_stage(t, "score", 1000, 20, 1);
+        tb.registry().add("points", 1000);
+        tb.registry().set_gauge("staleness", 150.0);
+        tb.registry().record_ns("retrain_ns", 4096);
+        tb.finish().unwrap()
+    }
+
+    #[test]
+    fn nested_json_carries_every_section() {
+        let value = trace_to_json(&sample_trace());
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj.get("executor").unwrap().as_str(), Some("streaming"));
+        assert_eq!(obj.get("partitions").unwrap().as_f64(), Some(1.0));
+        let counters = obj.get("counters").unwrap().as_object().unwrap();
+        assert_eq!(counters.get("points").unwrap().as_f64(), Some(1000.0));
+        let rendered = value.to_string();
+        let reparsed = serde_json::from_str(&rendered).unwrap();
+        assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn json_lines_tag_each_row() {
+        let lines = trace_to_json_lines(&sample_trace());
+        let rows: Vec<Value> = lines
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 4); // stage + counter + gauge + histogram
+        let kinds: Vec<&str> = rows
+            .iter()
+            .map(|r| r.as_object().unwrap().get("kind").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(kinds, vec!["stage", "counter", "gauge", "histogram"]);
+        for row in &rows {
+            assert_eq!(
+                row.as_object().unwrap().get("executor").unwrap().as_str(),
+                Some("streaming")
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_gauges_export_as_strings() {
+        assert_eq!(finite(f64::INFINITY).as_str(), Some("inf"));
+        assert_eq!(finite(2.5).as_f64(), Some(2.5));
+    }
+}

@@ -1,0 +1,236 @@
+//! Mergeable metric registries: per-worker shards, no locks, monoid fold.
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use mb_sketch::Mergeable;
+use std::collections::BTreeMap;
+
+/// A gauge sample paired with its update count.
+///
+/// Gauges are not monotonic, so merging two shards needs a deterministic
+/// tie-break: the shard that updated the gauge more often wins (it saw the
+/// metric last in any serial interleaving of the same work), and equal
+/// update counts resolve to the larger value. This keeps merged registries
+/// independent of worker scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaugeValue {
+    /// Most recent value set on this shard.
+    pub value: f64,
+    /// Number of times the gauge was set on this shard.
+    pub updates: u64,
+}
+
+impl Mergeable for GaugeValue {
+    fn merge(&mut self, other: Self) {
+        let take_other = other.updates > self.updates
+            || (other.updates == self.updates && other.value > self.value);
+        if take_other {
+            self.value = other.value;
+        }
+        self.updates += other.updates;
+    }
+}
+
+/// A named bag of counters, gauges, and latency histograms.
+///
+/// This is the *thread-local shard* of the telemetry design: each worker (or
+/// scatter task) owns one registry outright, records into it with plain
+/// non-atomic writes, and the owner folds the shards with
+/// [`Mergeable::merge`] after the scatter joins. There is no shared mutable
+/// state anywhere on the hot path — the same coordination-avoidance argument
+/// the engines use for scores and explanation state applies to metrics,
+/// because every metric here is a commutative monoid (counters and histogram
+/// buckets add; gauges resolve by update count).
+///
+/// Names are kept in `BTreeMap`s so iteration — and therefore export and
+/// wire encoding — is always in sorted order, independent of insertion
+/// order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeValue>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        let slot = self.gauges.entry(name.to_string()).or_default();
+        slot.value = value;
+        slot.updates += 1;
+    }
+
+    /// Record a latency sample (nanoseconds) into the named histogram.
+    pub fn record_ns(&mut self, name: &str, ns: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record_ns(ns);
+        } else {
+            let mut h = LatencyHistogram::new();
+            h.record_ns(ns);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Record a latency sample from a [`std::time::Duration`].
+    pub fn record(&mut self, name: &str, elapsed: std::time::Duration) {
+        self.record_ns(name, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Current value of a counter (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).map(|g| g.value)
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counter_entries(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// All gauges in name order.
+    pub fn gauge_entries(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), g.value))
+            .collect()
+    }
+
+    /// Snapshots of all histograms in name order.
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.histograms.iter().map(|(k, h)| h.snapshot(k)).collect()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl Mergeable for MetricRegistry {
+    fn merge(&mut self, other: Self) {
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, g) in other.gauges {
+            self.gauges.entry(name).or_default().merge(g);
+        }
+        for (name, h) in other.histograms {
+            match self.histograms.get_mut(&name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name, h);
+                }
+            }
+        }
+    }
+}
+
+/// Fold per-worker registry shards into one, in iteration order.
+///
+/// The result is order-independent for counters and histograms (commutative
+/// addition) and deterministic for gauges (update-count tie-break), so any
+/// shard ordering yields the same merged registry.
+pub fn merge_shards<I: IntoIterator<Item = MetricRegistry>>(shards: I) -> MetricRegistry {
+    let mut merged = MetricRegistry::new();
+    for shard in shards {
+        merged.merge(shard);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_across_shards() {
+        let mut a = MetricRegistry::new();
+        a.add("tasks", 3);
+        a.add("tasks", 2);
+        let mut b = MetricRegistry::new();
+        b.add("tasks", 7);
+        b.add("steals", 1);
+        let merged = merge_shards([a, b]);
+        assert_eq!(merged.counter("tasks"), 12);
+        assert_eq!(merged.counter("steals"), 1);
+        assert_eq!(merged.counter("absent"), 0);
+    }
+
+    #[test]
+    fn shard_merge_is_order_independent() {
+        let mut shards = Vec::new();
+        for w in 0..4u64 {
+            let mut r = MetricRegistry::new();
+            r.add("tasks", w + 1);
+            r.record_ns("lat", 100 * (w + 1));
+            r.set_gauge("staleness", w as f64);
+            if w == 2 {
+                r.set_gauge("staleness", 9.0); // worker 2 updates twice → wins
+            }
+            shards.push(r);
+        }
+        let forward = merge_shards(shards.clone());
+        shards.reverse();
+        let backward = merge_shards(shards);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.counter("tasks"), 10);
+        assert_eq!(forward.histogram("lat").unwrap().count(), 4);
+        assert_eq!(forward.gauge("staleness"), Some(9.0));
+    }
+
+    #[test]
+    fn gauge_ties_resolve_to_larger_value() {
+        let mut a = GaugeValue {
+            value: 1.0,
+            updates: 1,
+        };
+        let b = GaugeValue {
+            value: 5.0,
+            updates: 1,
+        };
+        a.merge(b);
+        assert_eq!(a.value, 5.0);
+        assert_eq!(a.updates, 2);
+    }
+
+    #[test]
+    fn sorted_iteration_regardless_of_insertion() {
+        let mut r = MetricRegistry::new();
+        r.add("zeta", 1);
+        r.add("alpha", 1);
+        r.record_ns("m2", 5);
+        r.record_ns("m1", 5);
+        assert_eq!(
+            r.counter_entries().iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["alpha", "zeta"]
+        );
+        assert_eq!(
+            r.histogram_snapshots().iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["m1", "m2"]
+        );
+        assert!(!r.is_empty());
+        assert!(MetricRegistry::new().is_empty());
+    }
+}

@@ -97,12 +97,85 @@ thread_local! {
     static HELP_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Per-worker activity counters, always on. Increments are relaxed atomic
+/// adds on lines the worker already owns — one or two per *job*, which is
+/// noise next to the queue lock the job was popped under — so there is no
+/// "metrics enabled" mode to toggle. Snapshots ([`Pool::worker_stats`])
+/// merge by field-wise addition: the counters are monotonic monoids, the
+/// same shape `mb-obs` folds into query traces.
+#[derive(Default)]
+struct WorkerCounters {
+    /// Jobs this worker (or helper) popped and ran, from any queue.
+    executed: AtomicU64,
+    /// Jobs taken from another worker's deque.
+    stolen: AtomicU64,
+    /// Jobs taken from the external-submission injector queue.
+    injector_pops: AtomicU64,
+    /// Times the worker parked on the wakeup condvar with nothing to do.
+    idle_parks: AtomicU64,
+}
+
+impl WorkerCounters {
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            tasks_executed: self.executed.load(Ordering::Relaxed),
+            tasks_stolen: self.stolen.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            idle_parks: self.idle_parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one worker's (or the whole pool's) activity counters.
+///
+/// Monotonic: every field only grows over a pool's lifetime. Combine
+/// snapshots with [`WorkerStats::combined`]; form a per-interval delta with
+/// [`WorkerStats::since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Jobs popped and run (own deque, injector, or stolen).
+    pub tasks_executed: u64,
+    /// Jobs taken from another worker's deque.
+    pub tasks_stolen: u64,
+    /// Jobs taken from the external-submission injector queue.
+    pub injector_pops: u64,
+    /// Times the worker parked idle on the wakeup condvar.
+    pub idle_parks: u64,
+}
+
+impl WorkerStats {
+    /// Field-wise sum of two snapshots.
+    pub fn combined(mut self, other: WorkerStats) -> WorkerStats {
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_stolen += other.tasks_stolen;
+        self.injector_pops += other.injector_pops;
+        self.idle_parks += other.idle_parks;
+        self
+    }
+
+    /// Field-wise saturating delta since an earlier snapshot of the same
+    /// counters.
+    pub fn since(&self, earlier: &WorkerStats) -> WorkerStats {
+        WorkerStats {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+            idle_parks: self.idle_parks.saturating_sub(earlier.idle_parks),
+        }
+    }
+}
+
 /// State shared between a pool handle and its worker threads.
 struct Shared {
     id: u64,
     /// One deque per worker. The owner pushes/pops at the back (LIFO);
     /// thieves pop at the front (FIFO — oldest, largest-granularity work).
     local: Vec<Mutex<VecDeque<Job>>>,
+    /// Activity counters, index-aligned with `local`.
+    counters: Vec<WorkerCounters>,
+    /// Counters for non-worker threads that execute jobs while helping a
+    /// scope wait (e.g. the caller of [`Pool::scope`]).
+    helper_counters: WorkerCounters,
     /// Submissions from threads outside the pool.
     injector: Mutex<VecDeque<Job>>,
     /// Bumped on every push; sleepers re-check it before parking so a push
@@ -174,12 +247,22 @@ impl Shared {
                 }
             }
         };
+        // Every job returned from here is executed immediately by the
+        // caller (worker loop or helping waiter), so `executed` is counted
+        // at the pop, tagged with the source queue.
+        let counters = match me {
+            Some(index) => &self.counters[index],
+            None => &self.helper_counters,
+        };
         if let Some(index) = me {
             if let Some(job) = take_back(&self.local[index]) {
+                counters.executed.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
         if let Some(job) = take_front(&self.injector) {
+            counters.executed.fetch_add(1, Ordering::Relaxed);
+            counters.injector_pops.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         let n = self.local.len();
@@ -190,6 +273,8 @@ impl Shared {
                 continue;
             }
             if let Some(job) = take_front(&self.local[victim]) {
+                counters.executed.fetch_add(1, Ordering::Relaxed);
+                counters.stolen.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -222,6 +307,7 @@ impl Shared {
                 self.sleepers.fetch_sub(1, Ordering::SeqCst);
                 continue; // new work (or shutdown) raced in; rescan
             }
+            self.counters[index].idle_parks.fetch_add(1, Ordering::Relaxed);
             let _ = self
                 .wakeup
                 .wait_timeout(guard, Duration::from_millis(50))
@@ -338,6 +424,8 @@ impl Pool {
         let shared = Arc::new(Shared {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             local: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            counters: (0..threads).map(|_| WorkerCounters::default()).collect(),
+            helper_counters: WorkerCounters::default(),
             injector: Mutex::new(VecDeque::new()),
             epoch: AtomicU64::new(0),
             sleepers: AtomicUsize::new(0),
@@ -361,6 +449,29 @@ impl Pool {
     /// Number of worker threads in this pool.
     pub fn num_threads(&self) -> usize {
         self.shared.local.len()
+    }
+
+    /// Per-worker activity snapshots, index-aligned with the pool's worker
+    /// threads. Counters are cumulative over the pool's lifetime; take two
+    /// snapshots and use [`WorkerStats::since`] for an interval view.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared.counters.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Activity of non-worker threads that executed jobs while waiting on a
+    /// scope (help-first waiting).
+    pub fn helper_stats(&self) -> WorkerStats {
+        self.shared.helper_counters.snapshot()
+    }
+
+    /// Whole-pool totals: every worker plus the helpers, field-wise summed.
+    /// The sum of `tasks_executed` equals the number of jobs ever spawned
+    /// onto the pool (once they have all finished), independent of the
+    /// worker count or how stealing interleaved them.
+    pub fn total_stats(&self) -> WorkerStats {
+        self.worker_stats()
+            .into_iter()
+            .fold(self.helper_stats(), WorkerStats::combined)
     }
 
     /// Run `op` with a [`Scope`] for spawning borrowing tasks, then wait —
@@ -879,6 +990,56 @@ mod tests {
             pool.map_reduce(&partition, 256, |&x| x, 0u64, |a, b| a + b)
         });
         assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn worker_counters_sum_to_spawn_count_at_any_thread_count() {
+        // The telemetry contract: per-worker executed counters are a
+        // commutative monoid, so their fold equals the number of spawned
+        // jobs at 1, 2, and 4 threads — scheduling and stealing only move
+        // counts between workers, never create or lose them.
+        const TASKS: usize = 257;
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let before = pool.total_stats();
+            assert_eq!(before.tasks_executed, 0);
+            let counter = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..TASKS {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), TASKS);
+            let delta = pool.total_stats().since(&before);
+            assert_eq!(
+                delta.tasks_executed, TASKS as u64,
+                "executed-counter fold diverged at {threads} threads"
+            );
+            // The scope owner is a foreign thread here, so every job entered
+            // via the injector; pops from it can never exceed submissions.
+            assert!(delta.injector_pops <= TASKS as u64);
+        }
+    }
+
+    #[test]
+    fn worker_stats_are_per_worker_and_combine() {
+        let pool = Pool::new(3);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| std::hint::black_box(()));
+            }
+        });
+        let per_worker = pool.worker_stats();
+        assert_eq!(per_worker.len(), 3);
+        let folded = per_worker
+            .into_iter()
+            .fold(pool.helper_stats(), WorkerStats::combined);
+        assert_eq!(folded, pool.total_stats());
+        assert_eq!(folded.tasks_executed, 64);
+        let again = pool.total_stats().since(&folded);
+        assert_eq!(again.tasks_executed, 0);
     }
 
     proptest! {

@@ -15,7 +15,10 @@
 //!   DBSherlock-shaped multi-metric failure window on one host),
 //!   [`SeasonalDriftScenario`] (spikes on top of a drifting seasonal
 //!   baseline), and [`CardinalityExplosionScenario`] (a guilty value hiding
-//!   in a high-cardinality attribute column).
+//!   in a high-cardinality attribute column) — plus
+//!   [`SelfTelemetryScenario`], the observability layer's dogfood workload:
+//!   a recorded stream of the system's own per-stage latency telemetry with
+//!   a planted stage regression.
 //! * [`eval`] — the single shared implementation of point-level
 //!   precision/recall/F1 and explanation-level Jaccard/rank metrics, used by
 //!   the integration tests, the `fig4`/`fig11`/`table4` reproductions, and
@@ -46,11 +49,13 @@ pub mod correlated;
 pub mod eval;
 pub mod level_shift;
 pub mod seasonal;
+pub mod self_telemetry;
 
 pub use cardinality::CardinalityExplosionScenario;
 pub use correlated::CorrelatedFailureScenario;
 pub use level_shift::LevelShiftScenario;
 pub use seasonal::SeasonalDriftScenario;
+pub use self_telemetry::SelfTelemetryScenario;
 
 use macrobase_core::operator::{EncodedBatch, Ingestor};
 use macrobase_core::query::{AnalysisConfig, MdpQuery};
@@ -202,11 +207,14 @@ pub fn standard_corpus(scale: usize) -> Vec<Box<dyn Scenario>> {
     seasonal.period *= scale;
     let mut cardinality = CardinalityExplosionScenario::default();
     cardinality.num_points *= scale;
+    let mut self_telemetry = SelfTelemetryScenario::default();
+    self_telemetry.num_points *= scale;
     vec![
         Box::new(level_shift),
         Box::new(correlated),
         Box::new(seasonal),
         Box::new(cardinality),
+        Box::new(self_telemetry),
     ]
 }
 

@@ -2,9 +2,10 @@
 # Public-API inventory check for the redesigned query surface.
 #
 # Dumps every `pub` item declared in the facade (src/lib.rs), in
-# macrobase-core (crates/core/src/*.rs), and in mb-scenario
-# (crates/mb-scenario/src/*.rs) — the crates whose API the
-# MdpQuery/Executor redesign and the accuracy harness own — and diffs the
+# macrobase-core (crates/core/src/*.rs), in mb-scenario
+# (crates/mb-scenario/src/*.rs), and in mb-obs (crates/mb-obs/src/*.rs) —
+# the crates whose API the MdpQuery/Executor redesign, the accuracy
+# harness, and the telemetry layer own — and diffs the
 # inventory against the
 # blessed snapshot in scripts/public_api.txt. CI runs this so a PR cannot
 # silently add, remove, or rename public surface: an intentional change is
@@ -22,7 +23,7 @@ cd "$(dirname "$0")/.."
 SNAPSHOT=scripts/public_api.txt
 
 dump() {
-  for f in src/lib.rs crates/core/src/*.rs crates/mb-scenario/src/*.rs; do
+  for f in src/lib.rs crates/core/src/*.rs crates/mb-obs/src/*.rs crates/mb-scenario/src/*.rs; do
     awk -v file="$f" '
       function emit(line) {
         sub(/^[ \t]+/, "", line)

@@ -30,6 +30,11 @@
 //! * [`pool`] — the work-stealing execution substrate behind the
 //!   partitioned modes, FastMCD's C-steps, and parallel attribute encoding
 //!   (vendored rayon stand-in; scoped `join`/`parallel_for`/`map_reduce`).
+//! * [`obs`] — the mergeable telemetry layer: lock-free metric registries
+//!   (counters, gauges, log-bucketed latency histograms) folded with the
+//!   same `Mergeable` algebra the engines use, per-stage query traces
+//!   attached to reports when `ObsConfig` is enabled (off by default), and
+//!   a JSON-lines exporter behind the reproduction binaries' `--trace`.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +69,7 @@
 
 pub use macrobase_core as core;
 pub use mb_classify as classify;
+pub use mb_obs as obs;
 pub use mb_explain as explain;
 pub use mb_fpgrowth as fpgrowth;
 pub use mb_ingest as ingest;
@@ -88,6 +94,7 @@ pub mod prelude {
     pub use crate::core::types::{LabeledPoint, MdpReport, Point, RenderedExplanation};
     pub use crate::core::{Classification, Label, PipelineError};
     pub use crate::explain::ExplanationConfig;
+    pub use crate::obs::{ObsConfig, QueryTrace};
 
     // Deprecated pre-query entry points, kept so existing code compiles
     // (each carries a migration pointer in its deprecation note).

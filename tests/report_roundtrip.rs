@@ -12,6 +12,10 @@ use macrobase::prelude::*;
 use macrobase::scenario::{eval, LevelShiftScenario, Scenario};
 
 fn report(executor: &Executor) -> MdpReport {
+    report_with_obs(executor, ObsConfig::disabled())
+}
+
+fn report_with_obs(executor: &Executor, obs: ObsConfig) -> MdpReport {
     let scenario = LevelShiftScenario {
         num_points: 2_000,
         ..LevelShiftScenario::default()
@@ -19,6 +23,7 @@ fn report(executor: &Executor) -> MdpReport {
     let generated = scenario.generate();
     let mut analysis = scenario.analysis();
     analysis.retain_scores = !matches!(executor, Executor::Streaming { .. });
+    analysis.obs = obs;
     MdpQuery::new(analysis)
         .execute(executor, &generated.points)
         .unwrap()
@@ -63,4 +68,63 @@ fn streaming_report_round_trips() {
     let original = report(&Executor::streaming());
     let decoded = wire::report_from_str(&wire::report_to_string(&original)).unwrap();
     assert_eq!(decoded, original);
+}
+
+#[test]
+fn untraced_reports_encode_a_null_trace() {
+    let original = report(&Executor::OneShot);
+    assert!(original.trace.is_none());
+    let encoded = wire::report_to_string(&original);
+    assert!(encoded.contains("\"trace\":null"));
+    let decoded = wire::report_from_str(&encoded).unwrap();
+    assert!(decoded.trace.is_none());
+}
+
+#[test]
+fn traced_one_shot_report_round_trips_canonically() {
+    let original = report_with_obs(&Executor::OneShot, ObsConfig::enabled());
+    let trace = original.trace.as_ref().expect("trace populated");
+    assert!(!trace.stages.is_empty());
+    assert!(!trace.counters.is_empty());
+
+    let encoded = wire::report_to_string(&original);
+    let decoded = wire::report_from_str(&encoded).unwrap();
+    assert_eq!(decoded, original);
+    // Canonical: re-encoding the decoded report is byte-identical.
+    assert_eq!(wire::report_to_string(&decoded), encoded);
+}
+
+#[test]
+fn traced_naive_report_round_trips_nested_partition_traces() {
+    let original =
+        report_with_obs(&Executor::NaivePartitioned { partitions: 3 }, ObsConfig::enabled());
+    assert!(original.trace.is_some());
+    let partitions = original.partition_reports.as_ref().unwrap();
+    assert!(
+        partitions.iter().all(|p| p.trace.is_some()),
+        "every partition report carries its own trace"
+    );
+
+    let decoded = wire::report_from_str(&wire::report_to_string(&original)).unwrap();
+    assert_eq!(decoded, original);
+    let decoded_partitions = decoded.partition_reports.unwrap();
+    assert!(decoded_partitions.iter().all(|p| p.trace.is_some()));
+}
+
+#[test]
+fn traced_streaming_report_round_trips_histogram_buckets() {
+    let original = report_with_obs(&Executor::streaming(), ObsConfig::enabled());
+    let trace = original.trace.as_ref().unwrap();
+    let retrains = trace
+        .histogram("retrain_ns")
+        .expect("streaming records retrain latencies");
+    assert!(retrains.count >= 1);
+    assert!(!retrains.buckets.is_empty());
+
+    let decoded = wire::report_from_str(&wire::report_to_string(&original)).unwrap();
+    assert_eq!(decoded, original);
+    assert_eq!(
+        decoded.trace.unwrap().histogram("retrain_ns").unwrap().buckets,
+        retrains.buckets
+    );
 }

@@ -396,6 +396,235 @@ fn execute_one_shot_impl(
     Ok((classifications, report))
 }
 
+/// Dispatch between the concrete fitted batch classifiers a
+/// [`FittedModel`] can hold.
+#[derive(Debug, Clone)]
+enum FittedModelKind {
+    Mad(BatchClassifier<MadEstimator>),
+    Mcd(BatchClassifier<McdEstimator>),
+    ZScore(BatchClassifier<ZScoreEstimator>),
+    /// The query declared no unsupervised stage; labels come from the rule
+    /// alone and there is no score distribution.
+    RuleOnly,
+}
+
+/// An immutable fitted classification model: the trained estimator plus the
+/// percentile threshold cut over its training scores.
+///
+/// Produced by [`MdpQuery::train`](crate::query::MdpQuery::train) and
+/// consumed by
+/// [`MdpQuery::execute_with_model`](crate::query::MdpQuery::execute_with_model),
+/// this is the unit a model cache shares across concurrent queries (the
+/// `macrobase::serve` epoch-stamped snapshots): training is deterministic,
+/// so scoring the training batch against its own fitted model reproduces the
+/// one-shot report byte for byte, while the model itself is plain data —
+/// `Send + Sync`, safe to publish behind an `Arc` and score from many
+/// threads at once.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    kind: FittedModelKind,
+    cutoff: Option<f64>,
+    dim: usize,
+}
+
+impl FittedModel {
+    /// The percentile score cutoff fitted over the training batch (`None`
+    /// for rule-only models, which have no score distribution).
+    pub fn cutoff(&self) -> Option<f64> {
+        self.cutoff
+    }
+
+    /// Metric dimensionality the model was trained on; scoring a batch of
+    /// any other dimensionality is a typed error.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the model carries a fitted unsupervised estimator (as opposed
+    /// to labeling through a supervised rule alone).
+    pub fn is_unsupervised(&self) -> bool {
+        !matches!(self.kind, FittedModelKind::RuleOnly)
+    }
+
+    /// Score a contiguous row-major metric buffer against the fitted
+    /// estimator; `None` for rule-only models.
+    fn score_flat(&self, flat: &[f64], dim: usize) -> Result<Option<Vec<f64>>> {
+        let scores = match &self.kind {
+            FittedModelKind::Mad(c) => c.score_batch_flat(flat, dim)?,
+            FittedModelKind::Mcd(c) => c.score_batch_flat(flat, dim)?,
+            FittedModelKind::ZScore(c) => c.score_batch_flat(flat, dim)?,
+            FittedModelKind::RuleOnly => return Ok(None),
+        };
+        Ok(Some(scores))
+    }
+}
+
+/// Fit one estimator and cut its threshold — the exact fit → score →
+/// threshold sequence of
+/// [`MdpClassifier::classify_unsupervised`], so a model trained here and
+/// applied to its own training batch labels every row identically.
+fn fit_model<E: Estimator>(
+    estimator: E,
+    analysis: &AnalysisConfig,
+    flat: &[f64],
+    dim: usize,
+) -> Result<(BatchClassifier<E>, f64)> {
+    let mut classifier = BatchClassifier::new(
+        estimator,
+        BatchClassifierConfig {
+            target_percentile: analysis.target_percentile,
+            training_sample_size: analysis.training_sample_size,
+        },
+    );
+    classifier.fit_flat(flat, dim)?;
+    let scores = classifier.score_batch_flat(flat, dim)?;
+    let threshold = StaticThreshold::from_scores(&scores, analysis.target_percentile)?;
+    classifier.set_threshold(threshold);
+    Ok((classifier, threshold.cutoff()))
+}
+
+/// Train a query's classification model over a batch without classifying or
+/// explaining anything (the fit half of the one-shot engine).
+pub(crate) fn train_model(parts: QueryParts<'_>, points: &[Point]) -> Result<FittedModel> {
+    let dim = check_dimensions(points)?;
+    if !parts.unsupervised {
+        return Ok(FittedModel {
+            kind: FittedModelKind::RuleOnly,
+            cutoff: None,
+            dim,
+        });
+    }
+    let flat = flatten_metrics(points, dim);
+    let analysis = parts.analysis;
+    let (kind, cutoff) = match analysis.estimator.resolve(dim) {
+        EstimatorKind::Mad => {
+            let (c, cutoff) = fit_model(MadEstimator::new(), analysis, &flat, dim)?;
+            (FittedModelKind::Mad(c), cutoff)
+        }
+        EstimatorKind::ZScore => {
+            let (c, cutoff) = fit_model(ZScoreEstimator::new(), analysis, &flat, dim)?;
+            (FittedModelKind::ZScore(c), cutoff)
+        }
+        EstimatorKind::Mcd => {
+            let (c, cutoff) = fit_model(McdEstimator::with_defaults(), analysis, &flat, dim)?;
+            (FittedModelKind::Mcd(c), cutoff)
+        }
+        EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
+    };
+    Ok(FittedModel {
+        kind,
+        cutoff: Some(cutoff),
+        dim,
+    })
+}
+
+/// The one-shot engine with a pre-trained model: score, threshold, rule-OR,
+/// and explain — exactly the operation sequence of [`execute_one_shot`]
+/// minus the fit, so running a batch against a model trained on that same
+/// batch reproduces the one-shot report byte for byte.
+pub(crate) fn execute_one_shot_with_model(
+    parts: QueryParts<'_>,
+    model: &FittedModel,
+    points: &[Point],
+) -> Result<MdpReport> {
+    let mut trace = TraceBuilder::new(parts.analysis.obs, "one-shot");
+    let pool_before = pool_snapshot(&trace);
+    let dim = check_dimensions(points)?;
+    if dim != model.dim {
+        return Err(PipelineError::InconsistentDimensions {
+            expected: model.dim,
+            actual: dim,
+        });
+    }
+    if model.is_unsupervised() != parts.unsupervised {
+        return Err(PipelineError::InvalidConfiguration(
+            "model and query disagree on the unsupervised classification stage".to_string(),
+        ));
+    }
+    let timer = trace.start();
+    let flat = flatten_metrics(points, dim);
+    trace.finish_stage(timer, "flatten", points.len(), points.len(), 1);
+
+    let timer = trace.start();
+    let mut classifications = match model.score_flat(&flat, dim)? {
+        Some(scores) => {
+            let cutoff = model.cutoff.ok_or_else(|| {
+                PipelineError::InvalidConfiguration(
+                    "fitted model carries no score threshold".to_string(),
+                )
+            })?;
+            let threshold = StaticThreshold::new(cutoff);
+            scores
+                .into_iter()
+                .map(|score| threshold.classify(score))
+                .collect()
+        }
+        None => vec![
+            Classification {
+                score: 0.0,
+                label: Label::Inlier,
+            };
+            points.len()
+        ],
+    };
+    if let Some(rule) = parts.rule {
+        for (classification, row) in classifications.iter_mut().zip(flat.chunks_exact(dim)) {
+            classification.label = label_or(classification.label, rule.classify(row));
+        }
+    }
+    let num_outliers = classifications
+        .iter()
+        .filter(|c| c.label.is_outlier())
+        .count();
+    trace.finish_stage(timer, stage::SCORE, points.len(), num_outliers, 1);
+
+    let explanations = if parts.analysis.skip_explanation {
+        Vec::new()
+    } else {
+        let analysis = parts.analysis;
+        let mut encoder = encoder_for(analysis);
+        let attribute_rows: Vec<&[String]> =
+            points.iter().map(|p| p.attributes.as_slice()).collect();
+        let encode_shards = resolve_num_partitions(0);
+        let timer = trace.start();
+        let batch = encode_batch_parallel(
+            &mut encoder,
+            mb_pool::global(),
+            &attribute_rows,
+            encode_shards,
+        );
+        trace.finish_stage(timer, stage::ENCODE, points.len(), points.len(), encode_shards);
+        let timer = trace.start();
+        let explanations = explain_encoded(analysis, &encoder, &batch, &classifications);
+        trace.finish_stage(timer, stage::EXPLAIN, points.len(), explanations.len(), 1);
+        explanations
+    };
+
+    record_pool_delta(&mut trace, pool_before);
+    Ok(MdpReport {
+        explanations,
+        num_points: points.len(),
+        num_outliers,
+        score_cutoff: if parts.unsupervised { model.cutoff } else { None },
+        scores: if parts.analysis.retain_scores {
+            classifications.iter().map(|c| c.score).collect()
+        } else {
+            Vec::new()
+        },
+        outlier_rows: if parts.analysis.retain_outlier_rows {
+            classifications
+                .iter()
+                .enumerate()
+                .filter_map(|(row, c)| c.label.is_outlier().then_some(row))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        partition_reports: None,
+        trace: trace.finish(),
+    })
+}
+
 /// Explain a labeled columnar batch and render against its encoder — the
 /// shared tail of both one-shot entry points.
 fn explain_encoded(
@@ -976,6 +1205,81 @@ mod tests {
             .traced()
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn pretrained_model_reproduces_one_shot_byte_for_byte() {
+        let points = workload(5_000);
+        let reference = run(query(), &Executor::OneShot, &points);
+        let q = query();
+        let model = q.train(&points).unwrap();
+        let report = q.execute_with_model(&model, &points).unwrap();
+        assert_eq!(report, reference);
+        assert_eq!(
+            crate::wire::report_to_string(&report),
+            crate::wire::report_to_string(&reference)
+        );
+        assert_eq!(model.cutoff(), reference.score_cutoff);
+        assert_eq!(model.dim(), 1);
+    }
+
+    #[test]
+    fn pretrained_model_honors_hybrid_rules_and_rule_only_queries() {
+        let mut points = workload(5_000);
+        for i in 0..10 {
+            points[i * 37 + 1] = Point::new(vec![150.0], vec!["device_rule".to_string()]);
+        }
+        let hybrid = || {
+            MdpQuery::builder()
+                .explanation(ExplanationConfig::new(0.0005, 3.0))
+                .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 100.0))
+                .build()
+                .unwrap()
+        };
+        let reference = run(hybrid(), &Executor::OneShot, &points);
+        let q = hybrid();
+        let model = q.train(&points).unwrap();
+        assert_eq!(q.execute_with_model(&model, &points).unwrap(), reference);
+
+        let rule_only = || {
+            MdpQuery::builder()
+                .without_unsupervised()
+                .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 100.0))
+                .build()
+                .unwrap()
+        };
+        let reference = run(rule_only(), &Executor::OneShot, &points);
+        let q = rule_only();
+        let model = q.train(&points).unwrap();
+        assert!(!model.is_unsupervised());
+        assert_eq!(model.cutoff(), None);
+        assert_eq!(q.execute_with_model(&model, &points).unwrap(), reference);
+    }
+
+    #[test]
+    fn pretrained_model_rejects_mismatched_batches() {
+        let points = workload(2_000);
+        let q = query();
+        let model = q.train(&points).unwrap();
+        let wide: Vec<Point> = (0..100)
+            .map(|i| Point::new(vec![i as f64, 1.0], vec!["a".to_string()]))
+            .collect();
+        assert!(matches!(
+            q.execute_with_model(&model, &wide),
+            Err(PipelineError::InconsistentDimensions {
+                expected: 1,
+                actual: 2
+            })
+        ));
+        let rule_only = MdpQuery::builder()
+            .without_unsupervised()
+            .supervised_rule(RuleClassifier::single(0, Comparison::GreaterThan, 100.0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            rule_only.execute_with_model(&model, &points),
+            Err(PipelineError::InvalidConfiguration(_))
+        ));
     }
 
     #[test]

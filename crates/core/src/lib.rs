@@ -67,7 +67,7 @@ pub mod streaming;
 pub mod types;
 pub mod wire;
 
-pub use executor::{MdpClassifier, MdpExplainer};
+pub use executor::{FittedModel, MdpClassifier, MdpExplainer};
 pub use mb_classify::{Classification, Label};
 pub use mb_obs::{ObsConfig, QueryTrace};
 pub use parallel::default_num_partitions;

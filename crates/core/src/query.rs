@@ -52,7 +52,7 @@
 
 use crate::executor::{
     encoder_for, execute_coordinated, execute_naive, execute_one_shot, execute_one_shot_encoded,
-    QueryParts,
+    execute_one_shot_with_model, train_model, FittedModel, QueryParts,
 };
 use crate::operator::{Ingestor, Transformer};
 use crate::streaming::StreamingEngine;
@@ -452,6 +452,50 @@ impl MdpQuery {
                 self.dispatch_batch(batch_executor, &all)
             }
         }
+    }
+
+    /// Transformer chains are stateful batch operators; a model fitted on
+    /// one chain state would silently disagree with a fresh execution, so
+    /// the train/score split rejects them with a typed error.
+    fn check_model_compatible(&self) -> Result<()> {
+        if !self.transformers.is_empty() {
+            return Err(PipelineError::UnsupportedByBackend {
+                feature: "transformer chain",
+                backend: "pre-trained model",
+            });
+        }
+        Ok(())
+    }
+
+    /// Fit this query's classification model over a batch without
+    /// classifying or explaining anything — the train half of the one-shot
+    /// engine, split out so a model can be fitted once and shared (see
+    /// [`FittedModel`]).
+    ///
+    /// Training is deterministic: the same query and batch always produce
+    /// the same model, and [`execute_with_model`] over the training batch
+    /// reproduces [`execute`] with [`Executor::OneShot`] byte for byte.
+    /// Queries with transformer chains are rejected with a typed error.
+    ///
+    /// [`execute`]: MdpQuery::execute
+    /// [`execute_with_model`]: MdpQuery::execute_with_model
+    pub fn train(&self, points: &[Point]) -> Result<FittedModel> {
+        self.check_model_compatible()?;
+        train_model(self.parts(), points)
+    }
+
+    /// Execute one-shot classification and explanation against a
+    /// pre-trained model instead of fitting one — the score half of the
+    /// train/score split (see [`MdpQuery::train`]).
+    ///
+    /// The batch's dimensionality must match the model's, and the model's
+    /// classification stages must match the query's (both unsupervised or
+    /// both rule-only); mismatches are typed errors. Takes `&self`: with no
+    /// transformer chain (rejected with a typed error) the query holds no
+    /// mutable state, so one query can score many batches concurrently.
+    pub fn execute_with_model(&self, model: &FittedModel, points: &[Point]) -> Result<MdpReport> {
+        self.check_model_compatible()?;
+        execute_one_shot_with_model(self.parts(), model, points)
     }
 
     /// Turn the query into an incremental streaming session

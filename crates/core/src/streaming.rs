@@ -10,7 +10,7 @@
 
 use crate::query::{AnalysisConfig, EstimatorKind, StreamingOptions};
 use crate::types::{MdpReport, Point, RenderedExplanation};
-use crate::Result;
+use crate::{PipelineError, Result};
 use mb_classify::rule::{label_or, RuleClassifier};
 use mb_classify::streaming::{StreamingClassifier, StreamingClassifierConfig};
 use mb_classify::Label;
@@ -48,6 +48,11 @@ pub(crate) struct StreamingEngine {
     retain_outlier_rows: bool,
     rule: Option<RuleClassifier>,
     unsupervised: bool,
+    /// Metric dimensionality locked in by the first accepted point. Later
+    /// points are validated against it *before* any engine state mutates, so
+    /// a rejected point leaves counters, reservoirs, and explainer state
+    /// untouched and the session remains usable.
+    dim: Option<usize>,
     model: Option<StreamingModel>,
     explainer: StreamingExplainer,
     encoder: AttributeEncoder,
@@ -96,6 +101,7 @@ impl StreamingEngine {
             retain_outlier_rows: analysis.retain_outlier_rows,
             rule,
             unsupervised,
+            dim: None,
             model: None,
             explainer,
             encoder,
@@ -135,6 +141,26 @@ impl StreamingEngine {
     }
 
     pub(crate) fn observe(&mut self, point: &Point) -> Result<Label> {
+        // Validate before any counter or reservoir mutates: a rejected point
+        // must leave the engine exactly as it was.
+        let dim = point.dimension();
+        match self.dim {
+            Some(expected) if expected != dim => {
+                return Err(PipelineError::InconsistentDimensions {
+                    expected,
+                    actual: dim,
+                });
+            }
+            None => {
+                if dim == 0 {
+                    return Err(PipelineError::InvalidConfiguration(
+                        "streaming points need at least one metric".to_string(),
+                    ));
+                }
+                self.dim = Some(dim);
+            }
+            _ => {}
+        }
         let tick_start = self.obs_enabled.then(Instant::now);
         self.points_seen += 1;
         self.points_since_decay += 1;
@@ -316,8 +342,28 @@ impl StreamingSession {
     }
 
     /// Observe one point, returning its label.
+    ///
+    /// A point whose metric dimensionality disagrees with the first accepted
+    /// point is rejected with a typed error *before* any session state
+    /// mutates — counters, reservoirs, and explainer state are untouched and
+    /// the session remains usable.
     pub fn observe(&mut self, point: &Point) -> Result<Label> {
         self.engine.observe(point)
+    }
+
+    /// Observe a batch of points, returning how many of them were labeled
+    /// outliers. An empty batch is a no-op and returns `Ok(0)`. On a typed
+    /// error the batch stops at the offending point: points observed before
+    /// it remain counted, the offending point leaves no state behind, and
+    /// the session can keep feeding.
+    pub fn feed(&mut self, points: &[Point]) -> Result<u64> {
+        let mut outliers = 0;
+        for point in points {
+            if self.engine.observe(point)? == Label::Outlier {
+                outliers += 1;
+            }
+        }
+        Ok(outliers)
     }
 
     /// Force a decay period boundary (also triggered automatically every
@@ -654,6 +700,119 @@ mod tests {
         }
         let label = session.observe(&Point::simple(-5.0, "neg")).unwrap();
         assert_eq!(label, Label::Outlier);
+    }
+
+    #[test]
+    fn session_survives_a_typed_error_with_state_untouched() {
+        let mut session = test_query()
+            .build()
+            .unwrap()
+            .into_streaming(&test_options())
+            .unwrap();
+        for i in 0..1_000 {
+            session
+                .observe(&Point::simple(10.0 + (i % 7) as f64, format!("d{}", i % 10)))
+                .unwrap();
+        }
+        let before = session.points_seen();
+
+        // A point of the wrong dimensionality is a typed error...
+        let err = session
+            .observe(&Point::new(vec![1.0, 2.0], vec!["d0".to_string()]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::InconsistentDimensions {
+                expected: 1,
+                actual: 2
+            }
+        ));
+        // ...that leaves no state behind: the offender was never counted.
+        assert_eq!(session.points_seen(), before);
+
+        // Feeding continues as if the bad point never arrived.
+        let fed = session
+            .feed(&[
+                Point::simple(10.0, "d1"),
+                Point::simple(11.0, "d2"),
+            ])
+            .unwrap();
+        assert!(fed <= 2);
+        assert_eq!(session.points_seen(), before + 2);
+
+        // A mid-batch offender stops the batch but keeps its predecessors.
+        let err = session
+            .feed(&[
+                Point::simple(10.0, "d3"),
+                Point::new(Vec::new(), vec!["d4".to_string()]),
+                Point::simple(12.0, "d5"),
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::InconsistentDimensions {
+                expected: 1,
+                actual: 0
+            }
+        ));
+        assert_eq!(session.points_seen(), before + 3);
+    }
+
+    #[test]
+    fn zero_dimensional_first_point_is_rejected() {
+        let mut session = MdpQuery::with_defaults()
+            .into_streaming(&StreamingOptions::default())
+            .unwrap();
+        let err = session
+            .observe(&Point::new(Vec::new(), vec!["d0".to_string()]))
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidConfiguration(_)));
+        assert_eq!(session.points_seen(), 0);
+        // The rejected point did not lock in a dimensionality.
+        session.observe(&Point::simple(1.0, "d0")).unwrap();
+        assert_eq!(session.points_seen(), 1);
+    }
+
+    #[test]
+    fn empty_batch_feed_is_a_no_op() {
+        let mut session = test_query()
+            .build()
+            .unwrap()
+            .into_streaming(&test_options())
+            .unwrap();
+        session.feed(&[]).unwrap();
+        assert_eq!(session.points_seen(), 0);
+        for i in 0..500 {
+            session
+                .observe(&Point::simple(10.0 + (i % 5) as f64, format!("d{}", i % 10)))
+                .unwrap();
+        }
+        let before = session.report();
+        assert_eq!(session.feed(&[]).unwrap(), 0);
+        assert_eq!(session.points_seen(), 500);
+        assert_eq!(session.report(), before);
+    }
+
+    #[test]
+    fn report_is_stable_when_no_points_arrived_since_last_tick() {
+        let mut session = test_query()
+            .build()
+            .unwrap()
+            .into_streaming(&test_options())
+            .unwrap();
+        for i in 0..10_000 {
+            let value = if i % 200 == 0 { 400.0 } else { 10.0 + (i % 7) as f64 };
+            session
+                .observe(&Point::simple(value, format!("d{}", i % 20)))
+                .unwrap();
+        }
+        // Rendering is a snapshot of a continuously maintained view, not a
+        // consuming drain: back-to-back reports with no intervening points
+        // must be identical.
+        let first = session.report();
+        let second = session.report();
+        assert_eq!(first, second);
+        assert!(first.num_outliers > 0);
     }
 
     #[allow(deprecated)]

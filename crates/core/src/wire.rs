@@ -31,7 +31,8 @@
 //! assert_eq!(decoded, report);
 //! ```
 
-use crate::types::{MdpReport, RenderedExplanation};
+use crate::query::{AnalysisConfig, EstimatorKind, Executor, StreamingOptions};
+use crate::types::{MdpReport, Point, RenderedExplanation};
 use mb_explain::risk_ratio::ExplanationStats;
 use mb_fpgrowth::Item;
 use mb_obs::{HistogramSnapshot, QueryTrace, StageTrace};
@@ -128,6 +129,29 @@ fn array<'a>(value: &'a Value, field: &str) -> Result<&'a [Value], WireError> {
 fn field<'a>(map: &'a Map, field_name: &str, context: &str) -> Result<&'a Value, WireError> {
     map.get(field_name)
         .ok_or_else(|| WireError::new(format!("{context}{field_name}"), "missing field"))
+}
+
+/// Fail loudly on keys outside the schema: a misspelled field would
+/// otherwise be silently ignored and its intended value silently replaced
+/// by a default, which is exactly the failure mode a wire protocol must
+/// surface.
+fn reject_unknown_keys(map: &Map, allowed: &[&str], context: &str) -> Result<(), WireError> {
+    for (key, _) in map.iter() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(WireError::new(
+                format!("{context}.{key}"),
+                "unknown field",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn bool_from_value(value: &Value, field: &str) -> Result<bool, WireError> {
+    match value {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(WireError::new(field, "expected a boolean")),
+    }
 }
 
 fn stats_to_json(stats: &ExplanationStats) -> Value {
@@ -465,10 +489,22 @@ pub fn report_from_json(value: &Value) -> Result<MdpReport, WireError> {
     report_from_json_at(value, "report")
 }
 
+const REPORT_KEYS: &[&str] = &[
+    "num_points",
+    "num_outliers",
+    "score_cutoff",
+    "scores",
+    "outlier_rows",
+    "explanations",
+    "partition_reports",
+    "trace",
+];
+
 fn report_from_json_at(value: &Value, context: &str) -> Result<MdpReport, WireError> {
     let map = value
         .as_object()
         .ok_or_else(|| WireError::new(context, "expected a report object"))?;
+    reject_unknown_keys(map, REPORT_KEYS, context)?;
     let prefix = format!("{context}.");
     let num_points = usize_from_value(
         field(map, "num_points", &prefix)?,
@@ -543,6 +579,333 @@ pub fn report_from_str(text: &str) -> Result<MdpReport, WireError> {
     report_from_json(&value)
 }
 
+// ---------------------------------------------------------------------------
+// Request half of the protocol: analysis configs, executors, and points.
+// These are what a client sends to `mb-serve`; the report codecs above are
+// what it gets back.
+// ---------------------------------------------------------------------------
+
+/// Encode a [`Point`] as `{"metrics": [...], "attributes": [...]}`.
+pub fn point_to_json(point: &Point) -> Value {
+    let mut map = Map::new();
+    map.insert(
+        "metrics".to_string(),
+        Value::Array(point.metrics.iter().map(|&m| f64_to_value(m)).collect()),
+    );
+    map.insert(
+        "attributes".to_string(),
+        Value::Array(
+            point
+                .attributes
+                .iter()
+                .map(|a| Value::String(a.clone()))
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+/// Decode a [`Point`] from the encoding of [`point_to_json`]. Unknown keys
+/// are a typed error.
+pub fn point_from_json(value: &Value, context: &str) -> Result<Point, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected a point object"))?;
+    reject_unknown_keys(map, &["metrics", "attributes"], context)?;
+    let prefix = format!("{context}.");
+    let metrics = array(
+        field(map, "metrics", &prefix)?,
+        &format!("{context}.metrics"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| f64_from_value(v, &format!("{context}.metrics[{i}]")))
+    .collect::<Result<Vec<f64>, WireError>>()?;
+    let attributes = array(
+        field(map, "attributes", &prefix)?,
+        &format!("{context}.attributes"),
+    )?
+    .iter()
+    .enumerate()
+    .map(|(i, v)| {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| WireError::new(format!("{context}.attributes[{i}]"), "expected a string"))
+    })
+    .collect::<Result<Vec<String>, WireError>>()?;
+    Ok(Point::new(metrics, attributes))
+}
+
+/// Encode a batch of points as a JSON array.
+pub fn points_to_json(points: &[Point]) -> Value {
+    Value::Array(points.iter().map(point_to_json).collect())
+}
+
+/// Decode a batch of points from a JSON array of point objects.
+pub fn points_from_json(value: &Value, context: &str) -> Result<Vec<Point>, WireError> {
+    array(value, context)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| point_from_json(v, &format!("{context}[{i}]")))
+        .collect()
+}
+
+fn estimator_name(kind: EstimatorKind) -> &'static str {
+    match kind {
+        EstimatorKind::Auto => "auto",
+        EstimatorKind::Mad => "mad",
+        EstimatorKind::Mcd => "mcd",
+        EstimatorKind::ZScore => "zscore",
+    }
+}
+
+const ANALYSIS_KEYS: &[&str] = &[
+    "estimator",
+    "target_percentile",
+    "min_support",
+    "min_risk_ratio",
+    "max_combination_size",
+    "training_sample_size",
+    "attribute_names",
+    "retain_scores",
+    "retain_outlier_rows",
+    "skip_explanation",
+    "traced",
+];
+
+/// Encode an [`AnalysisConfig`] as a flat JSON object. Explanation
+/// thresholds are flattened (`min_support`, `min_risk_ratio`,
+/// `max_combination_size`) and the telemetry switch travels as the boolean
+/// `traced`.
+pub fn analysis_to_json(analysis: &AnalysisConfig) -> Value {
+    let mut map = Map::new();
+    map.insert(
+        "estimator".to_string(),
+        Value::String(estimator_name(analysis.estimator).to_string()),
+    );
+    map.insert(
+        "target_percentile".to_string(),
+        f64_to_value(analysis.target_percentile),
+    );
+    map.insert(
+        "min_support".to_string(),
+        f64_to_value(analysis.explanation.min_support),
+    );
+    map.insert(
+        "min_risk_ratio".to_string(),
+        f64_to_value(analysis.explanation.min_risk_ratio),
+    );
+    map.insert(
+        "max_combination_size".to_string(),
+        Value::from(analysis.explanation.max_combination_size),
+    );
+    map.insert(
+        "training_sample_size".to_string(),
+        match analysis.training_sample_size {
+            Some(n) => Value::from(n),
+            None => Value::Null,
+        },
+    );
+    map.insert(
+        "attribute_names".to_string(),
+        Value::Array(
+            analysis
+                .attribute_names
+                .iter()
+                .map(|n| Value::String(n.clone()))
+                .collect(),
+        ),
+    );
+    map.insert(
+        "retain_scores".to_string(),
+        Value::Bool(analysis.retain_scores),
+    );
+    map.insert(
+        "retain_outlier_rows".to_string(),
+        Value::Bool(analysis.retain_outlier_rows),
+    );
+    map.insert(
+        "skip_explanation".to_string(),
+        Value::Bool(analysis.skip_explanation),
+    );
+    map.insert("traced".to_string(), Value::Bool(analysis.obs.enabled));
+    Value::Object(map)
+}
+
+/// Decode an [`AnalysisConfig`] from the encoding of [`analysis_to_json`].
+/// Every field is optional and falls back to [`AnalysisConfig::default`];
+/// unknown keys are a typed error so a misspelled knob cannot silently
+/// leave its default in place.
+pub fn analysis_from_json(value: &Value, context: &str) -> Result<AnalysisConfig, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected an analysis object"))?;
+    reject_unknown_keys(map, ANALYSIS_KEYS, context)?;
+    let mut analysis = AnalysisConfig::default();
+    if let Some(v) = map.get("estimator") {
+        let name = string_from_value(v, &format!("{context}.estimator"))?;
+        analysis.estimator = match name.as_str() {
+            "auto" => EstimatorKind::Auto,
+            "mad" => EstimatorKind::Mad,
+            "mcd" => EstimatorKind::Mcd,
+            "zscore" => EstimatorKind::ZScore,
+            _ => {
+                return Err(WireError::new(
+                    format!("{context}.estimator"),
+                    "expected one of auto, mad, mcd, zscore",
+                ))
+            }
+        };
+    }
+    if let Some(v) = map.get("target_percentile") {
+        analysis.target_percentile = f64_from_value(v, &format!("{context}.target_percentile"))?;
+    }
+    if let Some(v) = map.get("min_support") {
+        analysis.explanation.min_support = f64_from_value(v, &format!("{context}.min_support"))?;
+    }
+    if let Some(v) = map.get("min_risk_ratio") {
+        analysis.explanation.min_risk_ratio =
+            f64_from_value(v, &format!("{context}.min_risk_ratio"))?;
+    }
+    if let Some(v) = map.get("max_combination_size") {
+        analysis.explanation.max_combination_size =
+            usize_from_value(v, &format!("{context}.max_combination_size"))?;
+    }
+    if let Some(v) = map.get("training_sample_size") {
+        analysis.training_sample_size = match v {
+            Value::Null => None,
+            other => Some(usize_from_value(
+                other,
+                &format!("{context}.training_sample_size"),
+            )?),
+        };
+    }
+    if let Some(v) = map.get("attribute_names") {
+        analysis.attribute_names = array(v, &format!("{context}.attribute_names"))?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.as_str().map(str::to_string).ok_or_else(|| {
+                    WireError::new(format!("{context}.attribute_names[{i}]"), "expected a string")
+                })
+            })
+            .collect::<Result<Vec<String>, WireError>>()?;
+    }
+    if let Some(v) = map.get("retain_scores") {
+        analysis.retain_scores = bool_from_value(v, &format!("{context}.retain_scores"))?;
+    }
+    if let Some(v) = map.get("retain_outlier_rows") {
+        analysis.retain_outlier_rows =
+            bool_from_value(v, &format!("{context}.retain_outlier_rows"))?;
+    }
+    if let Some(v) = map.get("skip_explanation") {
+        analysis.skip_explanation = bool_from_value(v, &format!("{context}.skip_explanation"))?;
+    }
+    if let Some(v) = map.get("traced") {
+        analysis.obs.enabled = bool_from_value(v, &format!("{context}.traced"))?;
+    }
+    Ok(analysis)
+}
+
+/// Encode an [`Executor`] as a JSON object with a `mode` discriminator
+/// (`one_shot`, `coordinated`, `naive`, `streaming`) and per-mode knobs.
+pub fn executor_to_json(executor: &Executor) -> Value {
+    let mut map = Map::new();
+    match executor {
+        Executor::OneShot => {
+            map.insert("mode".to_string(), Value::String("one_shot".to_string()));
+        }
+        Executor::Coordinated { partitions } => {
+            map.insert("mode".to_string(), Value::String("coordinated".to_string()));
+            map.insert("partitions".to_string(), Value::from(*partitions));
+        }
+        Executor::NaivePartitioned { partitions } => {
+            map.insert("mode".to_string(), Value::String("naive".to_string()));
+            map.insert("partitions".to_string(), Value::from(*partitions));
+        }
+        Executor::Streaming { options } => {
+            map.insert("mode".to_string(), Value::String("streaming".to_string()));
+            map.insert(
+                "reservoir_size".to_string(),
+                Value::from(options.reservoir_size),
+            );
+            map.insert("decay_rate".to_string(), f64_to_value(options.decay_rate));
+            map.insert("decay_period".to_string(), Value::from(options.decay_period));
+            map.insert(
+                "retrain_period".to_string(),
+                Value::from(options.retrain_period),
+            );
+            map.insert("seed".to_string(), Value::from(options.seed));
+        }
+    }
+    Value::Object(map)
+}
+
+/// Decode an [`Executor`] from the encoding of [`executor_to_json`].
+/// Knobs are optional (falling back to the mode's defaults), but a knob
+/// that does not belong to the declared mode — or any unknown key — is a
+/// typed error.
+pub fn executor_from_json(value: &Value, context: &str) -> Result<Executor, WireError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| WireError::new(context, "expected an executor object"))?;
+    let prefix = format!("{context}.");
+    let mode = string_from_value(field(map, "mode", &prefix)?, &format!("{context}.mode"))?;
+    match mode.as_str() {
+        "one_shot" => {
+            reject_unknown_keys(map, &["mode"], context)?;
+            Ok(Executor::OneShot)
+        }
+        "coordinated" | "naive" => {
+            reject_unknown_keys(map, &["mode", "partitions"], context)?;
+            let partitions = match map.get("partitions") {
+                Some(v) => usize_from_value(v, &format!("{context}.partitions"))?,
+                None => 0,
+            };
+            if mode == "coordinated" {
+                Ok(Executor::Coordinated { partitions })
+            } else {
+                Ok(Executor::NaivePartitioned { partitions })
+            }
+        }
+        "streaming" => {
+            reject_unknown_keys(
+                map,
+                &[
+                    "mode",
+                    "reservoir_size",
+                    "decay_rate",
+                    "decay_period",
+                    "retrain_period",
+                    "seed",
+                ],
+                context,
+            )?;
+            let mut options = StreamingOptions::default();
+            if let Some(v) = map.get("reservoir_size") {
+                options.reservoir_size = usize_from_value(v, &format!("{context}.reservoir_size"))?;
+            }
+            if let Some(v) = map.get("decay_rate") {
+                options.decay_rate = f64_from_value(v, &format!("{context}.decay_rate"))?;
+            }
+            if let Some(v) = map.get("decay_period") {
+                options.decay_period = u64_from_value(v, &format!("{context}.decay_period"))?;
+            }
+            if let Some(v) = map.get("retrain_period") {
+                options.retrain_period = u64_from_value(v, &format!("{context}.retrain_period"))?;
+            }
+            if let Some(v) = map.get("seed") {
+                options.seed = u64_from_value(v, &format!("{context}.seed"))?;
+            }
+            Ok(Executor::Streaming { options })
+        }
+        _ => Err(WireError::new(
+            format!("{context}.mode"),
+            "expected one of one_shot, coordinated, naive, streaming",
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +961,112 @@ mod tests {
             decoded.explanations[0].stats.risk_ratio,
             f64::NEG_INFINITY
         );
+    }
+
+    #[test]
+    fn misspelled_report_field_is_a_typed_error() {
+        // Regression: unknown top-level keys used to be silently ignored, so
+        // a typo like `num_outlier` produced a decode that dropped the value.
+        let mut value = report_to_json(&sample_report());
+        let map = value.as_object_mut().unwrap();
+        let count = map.get("num_outliers").unwrap().clone();
+        map.insert("num_outlier".to_string(), count);
+        let err = report_from_json(&value).unwrap_err();
+        assert_eq!(err.field, "report.num_outlier");
+        assert_eq!(err.message, "unknown field");
+    }
+
+    #[test]
+    fn analysis_config_round_trips() {
+        let analysis = AnalysisConfig {
+            estimator: EstimatorKind::Mcd,
+            target_percentile: 0.95,
+            explanation: mb_explain::ExplanationConfig {
+                min_support: 0.01,
+                min_risk_ratio: 5.0,
+                max_combination_size: 2,
+            },
+            training_sample_size: Some(1_000),
+            attribute_names: vec!["device".to_string()],
+            retain_scores: true,
+            retain_outlier_rows: true,
+            obs: mb_obs::ObsConfig { enabled: true },
+            ..AnalysisConfig::default()
+        };
+        let decoded = analysis_from_json(&analysis_to_json(&analysis), "analysis").unwrap();
+        assert_eq!(decoded.estimator, analysis.estimator);
+        assert_eq!(decoded.target_percentile, analysis.target_percentile);
+        assert_eq!(decoded.explanation.min_support, analysis.explanation.min_support);
+        assert_eq!(
+            decoded.explanation.max_combination_size,
+            analysis.explanation.max_combination_size
+        );
+        assert_eq!(decoded.training_sample_size, analysis.training_sample_size);
+        assert_eq!(decoded.attribute_names, analysis.attribute_names);
+        assert!(decoded.retain_scores && decoded.retain_outlier_rows);
+        assert!(decoded.obs.enabled);
+
+        // An empty object decodes to the defaults.
+        let defaults =
+            analysis_from_json(&Value::Object(Map::new()), "analysis").unwrap();
+        assert_eq!(defaults.estimator, EstimatorKind::Auto);
+        assert_eq!(defaults.target_percentile, 0.99);
+        assert!(!defaults.obs.enabled);
+    }
+
+    #[test]
+    fn misspelled_analysis_knob_is_a_typed_error() {
+        let mut map = Map::new();
+        map.insert("target_percentil".to_string(), Value::from(0.9));
+        let err = analysis_from_json(&Value::Object(map), "analysis").unwrap_err();
+        assert_eq!(err.field, "analysis.target_percentil");
+        assert_eq!(err.message, "unknown field");
+    }
+
+    #[test]
+    fn executor_round_trips_and_rejects_foreign_knobs() {
+        for executor in [
+            Executor::OneShot,
+            Executor::Coordinated { partitions: 4 },
+            Executor::NaivePartitioned { partitions: 2 },
+            Executor::Streaming {
+                options: StreamingOptions {
+                    reservoir_size: 500,
+                    decay_rate: 0.05,
+                    decay_period: 1_000,
+                    retrain_period: 250,
+                    seed: 7,
+                },
+            },
+        ] {
+            let decoded =
+                executor_from_json(&executor_to_json(&executor), "executor").unwrap();
+            assert_eq!(decoded, executor);
+        }
+
+        // A streaming knob on a one-shot executor fails loudly.
+        let mut map = Map::new();
+        map.insert("mode".to_string(), Value::String("one_shot".to_string()));
+        map.insert("reservoir_size".to_string(), Value::from(100usize));
+        let err = executor_from_json(&Value::Object(map), "executor").unwrap_err();
+        assert_eq!(err.field, "executor.reservoir_size");
+        assert_eq!(err.message, "unknown field");
+    }
+
+    #[test]
+    fn points_round_trip_including_non_finite_metrics() {
+        let points = vec![
+            Point::new(vec![1.0, f64::INFINITY], vec!["a".to_string(), "b".to_string()]),
+            Point::new(vec![-2.5, 0.0], vec!["c".to_string(), "d".to_string()]),
+        ];
+        let decoded = points_from_json(&points_to_json(&points), "points").unwrap();
+        assert_eq!(decoded, points);
+
+        let mut map = Map::new();
+        map.insert("metric".to_string(), Value::Array(vec![]));
+        let err = point_from_json(&Value::Object(map), "points[0]").unwrap_err();
+        assert_eq!(err.field, "points[0].metric");
+        assert_eq!(err.message, "unknown field");
     }
 
     #[test]

@@ -19,9 +19,18 @@
 //! trades a little recall for bounded memory (warmup rows are never
 //! labeled) and adapts through the seasonal drift.
 
+//! `--serve` runs the identical matrix *through* `mb-serve`: per scenario,
+//! all four executor cells are submitted concurrently to a resident server
+//! and the rows are emitted in the same canonical order. Because serving
+//! never changes an answer, the rows diff clean against the same
+//! direct-execution baseline.
+
 use macrobase_core::query::{Executor, StreamingOptions};
-use mb_bench::{arg_usize, configure_threads_from_args, emit_json, throughput, timed};
-use mb_scenario::{eval, standard_corpus};
+use macrobase_core::types::MdpReport;
+use mb_bench::{arg_flag, arg_usize, configure_threads_from_args, emit_json, throughput, timed};
+use mb_scenario::{eval, standard_corpus, GeneratedScenario};
+use mb_serve::{JobStatus, Priority, QuerySpec, ServeConfig, Server};
+use std::time::Duration;
 
 /// The four backends under gate. Partition counts are pinned (never 0 =
 /// "one per worker") so reports cannot vary with the host's core count.
@@ -45,14 +54,68 @@ fn executors() -> Vec<(&'static str, Executor)> {
     ]
 }
 
+/// Score one (scenario, executor) cell's report and print/emit its row —
+/// identical shape whether the report came from a direct execution or
+/// through the server.
+fn emit_row(
+    scenario_name: &str,
+    executor_name: &str,
+    generated: &GeneratedScenario,
+    report: &MdpReport,
+    seconds: f64,
+) {
+    let points = eval::point_metrics(&report.outlier_rows, &generated.truth.outlier_rows);
+    let jaccard =
+        eval::explanation_jaccard(&report.explanations, &generated.truth.guilty_attributes);
+    println!(
+        "{:<24} {:<14} {:>8} {:>8} {:>10.4} {:>8.4} {:>8.4} {:>9.4}",
+        scenario_name,
+        executor_name,
+        generated.truth.outlier_rows.len(),
+        report.num_outliers,
+        points.precision(),
+        points.recall(),
+        points.f1(),
+        jaccard
+    );
+    emit_json(
+        "quality_matrix",
+        serde_json::json!({
+            "scenario": scenario_name,
+            "executor": executor_name,
+            "points": report.num_points,
+            "planted": generated.truth.outlier_rows.len(),
+            "flagged": report.num_outliers,
+            "precision": points.precision(),
+            "recall": points.recall(),
+            "f1": points.f1(),
+            "explanation_jaccard": jaccard,
+            "points_per_s": throughput(report.num_points, seconds),
+        }),
+    );
+}
+
 fn main() {
     let threads = configure_threads_from_args();
     let scale = arg_usize("--scale", 1);
-    println!("pool workers: {threads}, corpus scale {scale}x");
+    let through_server = arg_flag("--serve");
+    println!(
+        "pool workers: {threads}, corpus scale {scale}x{}",
+        if through_server {
+            ", via mb-serve (4 concurrent submissions per scenario)"
+        } else {
+            ""
+        }
+    );
     println!(
         "{:<24} {:<14} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9}",
         "scenario", "executor", "planted", "flagged", "precision", "recall", "f1", "jaccard"
     );
+
+    if through_server {
+        run_through_server(scale);
+        return;
+    }
 
     for scenario in standard_corpus(scale) {
         let generated = scenario.generate();
@@ -60,34 +123,54 @@ fn main() {
             let mut query = scenario.query().expect("scenario query construction failed");
             let (result, seconds) = timed(|| query.execute(&executor, &generated.points));
             let report = result.expect("scenario query execution failed");
-            let points = eval::point_metrics(&report.outlier_rows, &generated.truth.outlier_rows);
-            let jaccard =
-                eval::explanation_jaccard(&report.explanations, &generated.truth.guilty_attributes);
-            println!(
-                "{:<24} {:<14} {:>8} {:>8} {:>10.4} {:>8.4} {:>8.4} {:>9.4}",
+            emit_row(scenario.name(), executor_name, &generated, &report, seconds);
+        }
+    }
+}
+
+/// The accuracy matrix through the resident server: submit every executor
+/// cell of a scenario concurrently, then collect and emit rows in the same
+/// canonical order as direct execution. Metrics must equal the blessed
+/// direct-execution baselines — the whole point of the mode.
+fn run_through_server(scale: usize) {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    for scenario in standard_corpus(scale) {
+        let generated = scenario.generate();
+        let submitted = std::time::Instant::now();
+        for (executor_name, executor) in executors() {
+            let spec = QuerySpec {
+                analysis: scenario.analysis(),
+                executor,
+            };
+            server
+                .submit(
+                    &format!("{}/{executor_name}", scenario.name()),
+                    spec,
+                    generated.points.clone(),
+                    Priority::Normal,
+                )
+                .expect("server rejected a matrix submission");
+        }
+        for (executor_name, _) in executors() {
+            let id = format!("{}/{executor_name}", scenario.name());
+            let status = server
+                .poll(&id, Some(Duration::from_secs(600)))
+                .expect("matrix job vanished");
+            let JobStatus::Done(result) = status else {
+                panic!("matrix job {id} did not finish: {status:?}");
+            };
+            // Wall time covers the whole concurrent batch; the throughput
+            // column is volatile in diffs, correctness columns are not.
+            let seconds = submitted.elapsed().as_secs_f64();
+            emit_row(
                 scenario.name(),
                 executor_name,
-                generated.truth.outlier_rows.len(),
-                report.num_outliers,
-                points.precision(),
-                points.recall(),
-                points.f1(),
-                jaccard
-            );
-            emit_json(
-                "quality_matrix",
-                serde_json::json!({
-                    "scenario": scenario.name(),
-                    "executor": executor_name,
-                    "points": report.num_points,
-                    "planted": generated.truth.outlier_rows.len(),
-                    "flagged": report.num_outliers,
-                    "precision": points.precision(),
-                    "recall": points.recall(),
-                    "f1": points.f1(),
-                    "explanation_jaccard": jaccard,
-                    "points_per_s": throughput(report.num_points, seconds),
-                }),
+                &generated,
+                &result.report,
+                seconds,
             );
         }
     }

@@ -1,0 +1,193 @@
+//! End-to-end gate for the `mb_serve` binary: spawn the real server as a
+//! child process, drive it over the JSON-lines protocol on its stdin/stdout,
+//! and byte-compare every served report against the standalone run of the
+//! same query.
+//!
+//! Four jobs go in before any answer is read — the README quickstart query
+//! twice (same fingerprint, so the second must be a cache hit) plus the
+//! first two scenarios of the `mb-scenario` standard corpus — so the server
+//! is genuinely concurrent. The emitted rows are fully deterministic
+//! (byte-identity is the invariant under test); the closing `serve_stats`
+//! row pins the cache counters: 4 submissions, 3 trainings, 1 hit.
+
+use macrobase_core::query::{Executor, MdpQuery};
+use macrobase_core::types::{MdpReport, Point};
+use macrobase_core::wire::{analysis_to_json, points_to_json, report_to_json};
+use mb_bench::emit_json;
+use mb_scenario::standard_corpus;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+/// The README quickstart workload: one misbehaving device in a quiet fleet.
+fn quickstart_points() -> Vec<Point> {
+    let mut points: Vec<Point> = (0..5_000)
+        .map(|i| Point::simple(10.0 + (i % 7) as f64 * 0.2, format!("device_{}", i % 50)))
+        .collect();
+    for i in 0..50 {
+        points[i * 100] = Point::simple(90.0, "device_13");
+    }
+    points
+}
+
+fn get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    value.as_object().and_then(|m| m.get(key))
+}
+
+fn get_str<'a>(value: &'a Value, key: &str) -> Option<&'a str> {
+    get(value, key).and_then(|v| v.as_str())
+}
+
+/// One request line out, one response line back.
+fn roundtrip(server: &mut Child, lines: &mut Lines<BufReader<ChildStdout>>, request: &str) -> Value {
+    let stdin = server.stdin.as_mut().expect("server stdin is piped");
+    writeln!(stdin, "{request}").expect("write request to server");
+    stdin.flush().expect("flush request to server");
+    let line = lines
+        .next()
+        .expect("server closed stdout mid-protocol")
+        .expect("read response from server");
+    let response: Value = serde_json::from_str(&line).expect("server responses are JSON");
+    assert_eq!(
+        get(&response, "ok"),
+        Some(&Value::Bool(true)),
+        "server error for {request}: {response}"
+    );
+    response
+}
+
+/// A submitted query plus the standalone report it must reproduce.
+struct Expected {
+    id: String,
+    standalone: MdpReport,
+    points: usize,
+}
+
+fn main() {
+    // The server binary sits next to this harness binary in the target dir.
+    let server_path = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("target dir")
+        .join("mb_serve");
+    let mut server = Command::new(&server_path)
+        .args(["--threads", "2", "--workers", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", server_path.display()));
+    let mut lines = BufReader::new(server.stdout.take().expect("server stdout is piped")).lines();
+
+    // Standalone ground truth, computed in-process before anything is served.
+    let quickstart = quickstart_points();
+    let mut expected = vec![Expected {
+        id: "quickstart".to_string(),
+        standalone: MdpQuery::with_defaults()
+            .execute(&Executor::OneShot, &quickstart)
+            .unwrap(),
+        points: quickstart.len(),
+    }];
+    let mut submissions = vec![(
+        "quickstart".to_string(),
+        Value::Null, // default analysis: omit the key entirely
+        points_to_json(&quickstart),
+    )];
+    for scenario in standard_corpus(1).into_iter().take(2) {
+        let generated = scenario.generate();
+        let standalone = scenario
+            .query()
+            .expect("scenario query")
+            .execute(&Executor::OneShot, &generated.points)
+            .unwrap();
+        expected.push(Expected {
+            id: scenario.name().to_string(),
+            standalone,
+            points: generated.points.len(),
+        });
+        submissions.push((
+            scenario.name().to_string(),
+            analysis_to_json(&scenario.analysis()),
+            points_to_json(&generated.points),
+        ));
+    }
+    // The quickstart again under a new id: same fingerprint, must hit.
+    expected.push(Expected {
+        id: "quickstart_again".to_string(),
+        standalone: MdpQuery::with_defaults()
+            .execute(&Executor::OneShot, &quickstart)
+            .unwrap(),
+        points: quickstart.len(),
+    });
+    submissions.push((
+        "quickstart_again".to_string(),
+        Value::Null,
+        points_to_json(&quickstart),
+    ));
+
+    // All four submissions land before the first poll, so the server holds
+    // them concurrently.
+    for (id, analysis, points) in &submissions {
+        let analysis_field = match analysis {
+            Value::Null => String::new(),
+            other => format!(r#""analysis":{other},"#),
+        };
+        let request = format!(
+            r#"{{"op":"submit","id":"{id}",{analysis_field}"executor":{{"mode":"one_shot"}},"points":{points}}}"#
+        );
+        let response = roundtrip(&mut server, &mut lines, &request);
+        assert_eq!(get_str(&response, "state"), Some("queued"), "{response}");
+    }
+
+    println!("{:<20} {:>8} {:>8} {:>7} {:>6}", "query", "points", "flagged", "cache", "match");
+    for entry in &expected {
+        let response = roundtrip(
+            &mut server,
+            &mut lines,
+            &format!(r#"{{"op":"poll","id":"{}","wait_ms":300000}}"#, entry.id),
+        );
+        assert_eq!(get_str(&response, "state"), Some("done"), "{response}");
+        let served = get(&response, "report").expect("done responses carry the report");
+        let standalone = report_to_json(&entry.standalone);
+        let matches = served.to_string() == standalone.to_string();
+        assert!(matches, "served report for {} diverged from standalone", entry.id);
+        let cache = get_str(&response, "model_cache").unwrap_or("none").to_string();
+        println!(
+            "{:<20} {:>8} {:>8} {:>7} {:>6}",
+            entry.id, entry.points, entry.standalone.num_outliers, cache, matches
+        );
+        emit_json(
+            "serve_e2e",
+            serde_json::json!({
+                "query": entry.id.clone(),
+                "points": entry.points,
+                "flagged": entry.standalone.num_outliers,
+                "model_cache": cache,
+                "report_bytes_match": matches,
+            }),
+        );
+    }
+
+    // The stats row pins the shared-cache arithmetic: two distinct scenario
+    // fingerprints plus the quickstart trained once each, the repeated
+    // quickstart hit. uptime is volatile and presence-checked only.
+    let stats = roundtrip(&mut server, &mut lines, r#"{"op":"stats"}"#);
+    let counters = get(&stats, "counters").expect("stats carry counters");
+    let counter = |name: &str| get(counters, name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    emit_json(
+        "serve_stats",
+        serde_json::json!({
+            "jobs_submitted": counter("jobs_submitted"),
+            "jobs_completed": counter("jobs_completed"),
+            "model_trainings": counter("model_trainings"),
+            "cache_misses": counter("cache_misses"),
+            "cache_hits": counter("cache_hits"),
+            "epochs_published": counter("epochs_published"),
+            "uptime_ns": get(&stats, "uptime_ns").and_then(|v| v.as_f64()).unwrap_or(0.0),
+        }),
+    );
+
+    // Closing stdin is the shutdown signal; the server exits cleanly on EOF.
+    drop(server.stdin.take());
+    let status = server.wait().expect("server exit status");
+    assert!(status.success(), "server exited with {status}");
+}

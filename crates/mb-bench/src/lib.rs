@@ -72,9 +72,12 @@ pub fn arg_flag(name: &str) -> bool {
 pub fn configure_threads_from_args() -> usize {
     let requested = arg_usize("--threads", 0);
     if requested > 0 {
-        // Err only if the pool already exists, in which case the flag
-        // cannot take effect and the actual size is reported instead.
-        let _ = mb_pool::configure_global_threads(requested);
+        // Configuration is one-shot: if someone already fixed the size or
+        // built the pool, the flag cannot take effect — say so instead of
+        // silently running with an unexpected thread count.
+        if let Err(e) = mb_pool::configure_global_threads(requested) {
+            eprintln!("warning: --threads {requested} ignored: {e}");
+        }
     }
     mb_pool::global().num_threads()
 }

@@ -681,8 +681,10 @@ impl Drop for Pool {
 }
 
 /// The size the lazy global pool should be created with; 0 = derive from
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]. The low bits carry the requested
+/// size; [`CONFIGURED`] records that a configuration call already landed.
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+static CONFIGURED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
 
 /// Number of threads the platform reports as available (≥ 1).
@@ -692,35 +694,80 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Request that the [`global`] pool be built with `threads` workers. Must be
-/// called before the first use of [`global`]; returns `Err` (and changes
-/// nothing) once the global pool exists. Harness binaries call this from a
-/// `--threads` flag.
-pub fn configure_global_threads(threads: usize) -> Result<(), GlobalPoolInitialized> {
+/// Request that the [`global`] pool be built with `threads` workers.
+///
+/// **One-shot contract:** the process-wide pool is configured at most once,
+/// before its first use, and the winning size holds for the process
+/// lifetime (a resident server — `mb-serve` — owns the pool for every query
+/// it will ever run, so a later caller cannot be allowed to silently
+/// resize or silently lose). Exactly one call can succeed:
+///
+/// * the first call before any use of [`global`] wins and returns `Ok`;
+/// * a second call returns [`ConfigureError::AlreadyConfigured`] with the
+///   size that won, and changes nothing;
+/// * any call after the pool has been built returns
+///   [`ConfigureError::PoolInitialized`] with the worker count it was built
+///   with, and changes nothing.
+///
+/// Harness binaries call this from a `--threads` flag and surface the error
+/// instead of swallowing it.
+pub fn configure_global_threads(threads: usize) -> Result<(), ConfigureError> {
     if GLOBAL.get().is_some() {
-        return Err(GlobalPoolInitialized);
+        return Err(ConfigureError::PoolInitialized {
+            workers: global().num_threads(),
+        });
+    }
+    if CONFIGURED.swap(true, Ordering::SeqCst) {
+        return Err(ConfigureError::AlreadyConfigured {
+            configured: GLOBAL_THREADS.load(Ordering::SeqCst),
+        });
     }
     GLOBAL_THREADS.store(threads, Ordering::SeqCst);
     // Racing with a concurrent first `global()` call loses benignly: the
     // store above either lands before the builder reads it, or is ignored.
     if GLOBAL.get().is_some() {
-        return Err(GlobalPoolInitialized);
+        return Err(ConfigureError::PoolInitialized {
+            workers: global().num_threads(),
+        });
     }
     Ok(())
 }
 
-/// Error returned by [`configure_global_threads`] when the global pool has
-/// already been created.
+/// Error returned by [`configure_global_threads`] when its one-shot
+/// contract is violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GlobalPoolInitialized;
+pub enum ConfigureError {
+    /// A previous `configure_global_threads` call already fixed the size
+    /// (the pool itself may not exist yet). Carries the size that won.
+    AlreadyConfigured {
+        /// The thread count the earlier call requested (0 = one worker per
+        /// available core).
+        configured: usize,
+    },
+    /// The global pool has already been built; its size is immutable for
+    /// the rest of the process lifetime.
+    PoolInitialized {
+        /// The worker count the pool was built with.
+        workers: usize,
+    },
+}
 
-impl std::fmt::Display for GlobalPoolInitialized {
+impl std::fmt::Display for ConfigureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "the global mb-pool has already been initialized")
+        match self {
+            ConfigureError::AlreadyConfigured { configured } => write!(
+                f,
+                "the global mb-pool thread count has already been configured (requested size {configured}; 0 = per-core)"
+            ),
+            ConfigureError::PoolInitialized { workers } => write!(
+                f,
+                "the global mb-pool has already been initialized with {workers} workers"
+            ),
+        }
     }
 }
 
-impl std::error::Error for GlobalPoolInitialized {}
+impl std::error::Error for ConfigureError {}
 
 /// The process-wide pool, created on first use with
 /// [`configure_global_threads`]'s size or one worker per available core.
@@ -970,8 +1017,12 @@ mod tests {
 
     #[test]
     fn global_pool_exists_and_configure_fails_after_init() {
-        assert!(global().num_threads() >= 1);
-        assert_eq!(configure_global_threads(4), Err(GlobalPoolInitialized));
+        let workers = global().num_threads();
+        assert!(workers >= 1);
+        assert_eq!(
+            configure_global_threads(4),
+            Err(ConfigureError::PoolInitialized { workers })
+        );
     }
 
     #[test]

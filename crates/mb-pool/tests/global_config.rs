@@ -1,0 +1,32 @@
+//! The one-shot contract of `configure_global_threads`, exercised in a
+//! process where nothing else has touched the global pool. Integration
+//! tests run in their own binary, so — unlike the crate's unit tests — the
+//! global here is guaranteed untouched at entry. Everything must live in
+//! ONE test function: a second `#[test]` could run first (or in parallel)
+//! and consume the single successful configuration slot.
+
+use mb_pool::{configure_global_threads, global, ConfigureError};
+
+#[test]
+fn configure_is_one_shot_for_the_process_lifetime() {
+    // First call, before any pool use: wins.
+    assert_eq!(configure_global_threads(3), Ok(()));
+
+    // Second call, still before pool use: the size is already fixed.
+    assert_eq!(
+        configure_global_threads(5),
+        Err(ConfigureError::AlreadyConfigured { configured: 3 })
+    );
+
+    // First use builds the pool with the winning size.
+    assert_eq!(global().num_threads(), 3);
+
+    // Any call after initialization names the live worker count.
+    assert_eq!(
+        configure_global_threads(8),
+        Err(ConfigureError::PoolInitialized { workers: 3 })
+    );
+
+    // None of the failed calls changed anything.
+    assert_eq!(global().num_threads(), 3);
+}

@@ -1,0 +1,57 @@
+//! The `mb_serve` binary: a resident MacroBase server speaking the
+//! JSON-lines protocol over stdin/stdout.
+//!
+//! ```text
+//! mb_serve [--threads N] [--workers N] [--queue N] [--session-idle-ms N]
+//! ```
+//!
+//! `--threads` sizes the process-wide work-stealing pool every query shares
+//! (one-shot: set before anything touches the pool); `--workers` is the
+//! number of concurrently executing queries; `--queue` bounds admission;
+//! `--session-idle-ms` expires idle streaming sessions. Exits 0 on EOF.
+
+use mb_serve::{serve_loop, ServeConfig, Server};
+use std::time::Duration;
+
+fn arg_usize(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("error: {name} needs an unsigned integer argument");
+                    std::process::exit(2);
+                });
+        }
+    }
+    default
+}
+
+fn main() {
+    let threads = arg_usize("--threads", 0);
+    if threads > 0 {
+        // The server owns the pool for the process lifetime; surfacing the
+        // one-shot violation beats silently running at the wrong width.
+        if let Err(e) = mb_pool::configure_global_threads(threads) {
+            eprintln!("warning: --threads {threads} ignored: {e}");
+        }
+    }
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        workers: arg_usize("--workers", defaults.workers),
+        max_queue: arg_usize("--queue", defaults.max_queue),
+        session_idle: Duration::from_millis(arg_usize(
+            "--session-idle-ms",
+            defaults.session_idle.as_millis() as usize,
+        ) as u64),
+    };
+    let server = Server::start(config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = serve_loop(&server, stdin.lock(), stdout.lock()) {
+        eprintln!("error: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+}

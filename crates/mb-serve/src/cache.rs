@@ -1,0 +1,265 @@
+//! The shared, epoch-versioned model cache.
+//!
+//! One slot per [`Fingerprint`]. The first requester trains the model (off
+//! the slot lock — training can take arbitrarily long) and publishes an
+//! immutable [`ModelSnapshot`] at epoch 1; concurrent requesters for the
+//! same fingerprint block on the slot's condvar and then share the same
+//! `Arc`. A retrain publishes the *next* epoch by swapping the slot's
+//! `Arc` — readers holding the previous snapshot are never stalled or
+//! invalidated, the multiversion discipline (readers against an immutable
+//! snapshot, writers installing the next one) that keeps concurrency from
+//! ever changing a report.
+
+use crate::fingerprint::Fingerprint;
+use macrobase_core::executor::FittedModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An immutable fitted model stamped with the epoch that published it.
+/// Everything a scorer needs is frozen at publication: epochs never mutate.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    /// Publication epoch, starting at 1 for the first training.
+    pub epoch: u64,
+    /// The fitted classifier + threshold.
+    pub model: FittedModel,
+}
+
+/// How a cache lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// This requester trained the model (or arrived while no model existed
+    /// and won the training slot).
+    Miss,
+    /// An already-published snapshot was reused.
+    Hit,
+}
+
+enum SlotState {
+    /// A requester is training; everyone else waits on the condvar.
+    Training,
+    /// Published and shareable. Replaced wholesale on retrain.
+    Ready(Arc<ModelSnapshot>),
+    /// Training failed. Sticky: the same inputs would fail the same way
+    /// (training is deterministic), so repeat requesters get the same error
+    /// without re-paying for the attempt.
+    Failed(String),
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+/// The cache proper: fingerprint-keyed slots.
+pub struct ModelCache {
+    slots: Mutex<HashMap<Fingerprint, Arc<Slot>>>,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ModelCache {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetch the current snapshot for `fingerprint`, training it with
+    /// `train` if no slot exists yet. Exactly one caller per fingerprint
+    /// runs `train`; everyone else blocks until publication and shares the
+    /// result.
+    pub fn get_or_train<F>(
+        &self,
+        fingerprint: Fingerprint,
+        train: F,
+    ) -> Result<(Arc<ModelSnapshot>, CacheOutcome), String>
+    where
+        F: FnOnce() -> Result<FittedModel, String>,
+    {
+        let (slot, trainer) = {
+            let mut slots = self.slots.lock().expect("model cache poisoned");
+            match slots.get(&fingerprint) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Training),
+                        cond: Condvar::new(),
+                    });
+                    slots.insert(fingerprint, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+
+        if trainer {
+            // Train off every lock: other fingerprints stay available and
+            // same-fingerprint requesters queue on the condvar.
+            let outcome = train();
+            let mut state = slot.state.lock().expect("model slot poisoned");
+            let result = match outcome {
+                Ok(model) => {
+                    let snapshot = Arc::new(ModelSnapshot { epoch: 1, model });
+                    *state = SlotState::Ready(Arc::clone(&snapshot));
+                    Ok((snapshot, CacheOutcome::Miss))
+                }
+                Err(message) => {
+                    *state = SlotState::Failed(message.clone());
+                    Err(message)
+                }
+            };
+            slot.cond.notify_all();
+            return result;
+        }
+
+        let mut state = slot.state.lock().expect("model slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Ready(snapshot) => {
+                    return Ok((Arc::clone(snapshot), CacheOutcome::Hit));
+                }
+                SlotState::Failed(message) => return Err(message.clone()),
+                SlotState::Training => {
+                    state = slot
+                        .cond
+                        .wait(state)
+                        .expect("model slot poisoned");
+                }
+            }
+        }
+    }
+
+    /// Current snapshot for `fingerprint`, if one has been published.
+    /// Never blocks on an in-flight training.
+    pub fn peek(&self, fingerprint: Fingerprint) -> Option<Arc<ModelSnapshot>> {
+        let slot = {
+            let slots = self.slots.lock().expect("model cache poisoned");
+            slots.get(&fingerprint).map(Arc::clone)?
+        };
+        let state = slot.state.lock().expect("model slot poisoned");
+        match &*state {
+            SlotState::Ready(snapshot) => Some(Arc::clone(snapshot)),
+            _ => None,
+        }
+    }
+
+    /// Train the next epoch for an already-published fingerprint and swap
+    /// it in. Readers holding the previous `Arc` are untouched; requesters
+    /// arriving after the swap get the new epoch. Returns the published
+    /// epoch.
+    pub fn retrain<F>(&self, fingerprint: Fingerprint, train: F) -> Result<u64, String>
+    where
+        F: FnOnce() -> Result<FittedModel, String>,
+    {
+        let slot = {
+            let slots = self.slots.lock().expect("model cache poisoned");
+            slots
+                .get(&fingerprint)
+                .map(Arc::clone)
+                .ok_or_else(|| "no model published for this fingerprint".to_string())?
+        };
+        let current_epoch = {
+            let state = slot.state.lock().expect("model slot poisoned");
+            match &*state {
+                SlotState::Ready(snapshot) => snapshot.epoch,
+                SlotState::Training => {
+                    return Err("model is still training its first epoch".to_string())
+                }
+                SlotState::Failed(message) => return Err(message.clone()),
+            }
+        };
+        // Train with no lock held: in-flight scorers keep reading the
+        // current snapshot for the entire duration.
+        let model = train()?;
+        let mut state = slot.state.lock().expect("model slot poisoned");
+        let epoch = match &*state {
+            // Concurrent retrains may have advanced the epoch while this
+            // one trained; publish after the newest.
+            SlotState::Ready(snapshot) => snapshot.epoch.max(current_epoch) + 1,
+            _ => current_epoch + 1,
+        };
+        *state = SlotState::Ready(Arc::new(ModelSnapshot { epoch, model }));
+        slot.cond.notify_all();
+        Ok(epoch)
+    }
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macrobase_core::query::MdpQuery;
+    use macrobase_core::types::Point;
+
+    fn training_batch() -> Vec<Point> {
+        (0..500)
+            .map(|i| Point::simple(10.0 + (i % 7) as f64 * 0.2, format!("d{}", i % 10)))
+            .collect()
+    }
+
+    fn fingerprint_and_model() -> (Fingerprint, Vec<Point>) {
+        let points = training_batch();
+        let query = MdpQuery::with_defaults();
+        let fp = Fingerprint::compute(query.analysis(), &points);
+        (fp, points)
+    }
+
+    #[test]
+    fn first_requester_trains_and_later_requesters_hit() {
+        let cache = ModelCache::new();
+        let (fp, points) = fingerprint_and_model();
+        let query = MdpQuery::with_defaults();
+
+        let (first, outcome) = cache
+            .get_or_train(fp, || query.train(&points).map_err(|e| e.to_string()))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(first.epoch, 1);
+
+        let (second, outcome) = cache
+            .get_or_train(fp, || panic!("must not retrain a cached fingerprint"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn retrain_publishes_the_next_epoch_without_touching_old_readers() {
+        let cache = ModelCache::new();
+        let (fp, points) = fingerprint_and_model();
+        let query = MdpQuery::with_defaults();
+
+        let (old, _) = cache
+            .get_or_train(fp, || query.train(&points).map_err(|e| e.to_string()))
+            .unwrap();
+        let epoch = cache
+            .retrain(fp, || query.train(&points).map_err(|e| e.to_string()))
+            .unwrap();
+        assert_eq!(epoch, 2);
+        // The held snapshot is immutable: still epoch 1.
+        assert_eq!(old.epoch, 1);
+        // New requesters see the new epoch.
+        let current = cache.peek(fp).unwrap();
+        assert_eq!(current.epoch, 2);
+        assert!(!Arc::ptr_eq(&old, &current));
+    }
+
+    #[test]
+    fn training_failures_are_sticky_and_typed() {
+        let cache = ModelCache::new();
+        let (fp, _) = fingerprint_and_model();
+        let err = cache
+            .get_or_train(fp, || Err::<FittedModel, _>("boom".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        let err = cache
+            .get_or_train(fp, || panic!("failure is sticky; no second attempt"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(cache.peek(fp).is_none());
+    }
+}

@@ -1,0 +1,331 @@
+//! The JSON-lines wire front end: one request object per line in, one
+//! response object per line out.
+//!
+//! Requests carry an `"op"` discriminator — `submit`, `poll`, `feed`,
+//! `close`, `stats`, `retrain` — and op-specific fields; analysis configs,
+//! executors, points, and reports all use the `core::wire` codecs, so a
+//! report on the wire is byte-identical to `report_to_string` of the same
+//! standalone run. Unknown ops *and unknown top-level keys* are typed
+//! errors: a misspelled field never silently falls back to a default.
+//!
+//! Responses always carry `"ok"`. Failures look like
+//! `{"ok":false,"error":{"kind":...,"message":...}}`; the kinds are
+//! `malformed`, `protocol`, `unknown_op`, `saturated`, `duplicate_id`,
+//! `unknown_id`, `bad_request`, and `query`.
+
+use crate::scheduler::Priority;
+use crate::server::{Closed, JobStatus, QuerySpec, ServeError, Server};
+use macrobase_core::query::Executor;
+use macrobase_core::wire::{
+    analysis_from_json, executor_from_json, points_from_json, report_to_json,
+};
+use serde_json::{Map, Value};
+use std::io::{BufRead, Write};
+
+fn error_response(kind: &str, message: impl Into<String>) -> Value {
+    let mut error = Map::new();
+    error.insert("kind".to_string(), Value::String(kind.to_string()));
+    error.insert("message".to_string(), Value::String(message.into()));
+    let mut map = Map::new();
+    map.insert("ok".to_string(), Value::Bool(false));
+    map.insert("error".to_string(), Value::Object(error));
+    Value::Object(map)
+}
+
+fn serve_error_response(err: ServeError) -> Value {
+    let kind = match &err {
+        ServeError::Saturated(_) => "saturated",
+        ServeError::DuplicateId(_) => "duplicate_id",
+        ServeError::UnknownId(_) => "unknown_id",
+        ServeError::BadRequest(_) => "bad_request",
+        ServeError::Query(_) => "query",
+    };
+    error_response(kind, err.to_string())
+}
+
+fn ok_response(op: &str, id: Option<&str>) -> Map {
+    let mut map = Map::new();
+    map.insert("ok".to_string(), Value::Bool(true));
+    map.insert("op".to_string(), Value::String(op.to_string()));
+    if let Some(id) = id {
+        map.insert("id".to_string(), Value::String(id.to_string()));
+    }
+    map
+}
+
+fn check_keys(map: &Map, allowed: &[&str]) -> Result<(), Value> {
+    for (key, _) in map.iter() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(error_response(
+                "protocol",
+                format!("unknown field {key:?} in request"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn required_id(map: &Map) -> Result<String, Value> {
+    match map.get("id") {
+        Some(Value::String(id)) => Ok(id.clone()),
+        Some(_) => Err(error_response("protocol", "id must be a string")),
+        None => Err(error_response("protocol", "missing field id")),
+    }
+}
+
+/// Handle one request line, returning the response line (no trailing
+/// newline). Never panics on malformed input: every failure is an error
+/// response.
+pub fn handle_line(server: &Server, line: &str) -> String {
+    handle_value(server, line).to_string()
+}
+
+fn handle_value(server: &Server, line: &str) -> Value {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(value) => value,
+        Err(e) => return error_response("malformed", format!("malformed JSON: {e}")),
+    };
+    let Some(map) = value.as_object() else {
+        return error_response("malformed", "request must be a JSON object");
+    };
+    let op = match map.get("op") {
+        Some(Value::String(op)) => op.clone(),
+        Some(_) => return error_response("protocol", "op must be a string"),
+        None => return error_response("protocol", "missing field op"),
+    };
+    let result = match op.as_str() {
+        "submit" => handle_submit(server, map),
+        "poll" => handle_poll(server, map),
+        "feed" => handle_feed(server, map),
+        "close" => handle_close(server, map),
+        "retrain" => handle_retrain(server, map),
+        "stats" => handle_stats(server, map),
+        _ => Err(error_response(
+            "unknown_op",
+            format!("unknown op {op:?}; expected submit, poll, feed, close, retrain, or stats"),
+        )),
+    };
+    match result {
+        Ok(response) | Err(response) => response,
+    }
+}
+
+fn handle_submit(server: &Server, map: &Map) -> Result<Value, Value> {
+    check_keys(map, &["op", "id", "priority", "analysis", "executor", "points"])?;
+    let id = required_id(map)?;
+    let priority = match map.get("priority") {
+        None => Priority::Normal,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| error_response("protocol", "priority must be a string"))?;
+            Priority::parse(name).ok_or_else(|| {
+                error_response("protocol", "priority must be one of high, normal, low")
+            })?
+        }
+    };
+    let analysis = match map.get("analysis") {
+        Some(v) => analysis_from_json(v, "analysis")
+            .map_err(|e| error_response("protocol", e.to_string()))?,
+        None => Default::default(),
+    };
+    let executor = match map.get("executor") {
+        Some(v) => executor_from_json(v, "executor")
+            .map_err(|e| error_response("protocol", e.to_string()))?,
+        None => Executor::OneShot,
+    };
+    let spec = QuerySpec { analysis, executor };
+
+    // A streaming executor with no inline points opens a session to feed;
+    // everything else is a batch job over the supplied points.
+    let points = match map.get("points") {
+        Some(v) => Some(
+            points_from_json(v, "points")
+                .map_err(|e| error_response("protocol", e.to_string()))?,
+        ),
+        None => None,
+    };
+    match points {
+        None => {
+            if !matches!(spec.executor, Executor::Streaming { .. }) {
+                return Err(error_response(
+                    "protocol",
+                    "missing field points (only streaming submissions may omit them)",
+                ));
+            }
+            server
+                .open_session(&id, spec)
+                .map_err(serve_error_response)?;
+            let mut response = ok_response("submit", Some(&id));
+            response.insert("state".to_string(), Value::String("session".to_string()));
+            Ok(Value::Object(response))
+        }
+        Some(points) => {
+            server
+                .submit(&id, spec, points, priority)
+                .map_err(serve_error_response)?;
+            let mut response = ok_response("submit", Some(&id));
+            response.insert("state".to_string(), Value::String("queued".to_string()));
+            Ok(Value::Object(response))
+        }
+    }
+}
+
+fn handle_poll(server: &Server, map: &Map) -> Result<Value, Value> {
+    check_keys(map, &["op", "id", "wait_ms"])?;
+    let id = required_id(map)?;
+    let wait = match map.get("wait_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v
+                .as_f64()
+                .filter(|ms| *ms >= 0.0 && ms.fract() == 0.0)
+                .ok_or_else(|| {
+                    error_response("protocol", "wait_ms must be a non-negative integer")
+                })?;
+            Some(std::time::Duration::from_millis(ms as u64))
+        }
+    };
+    match server.poll(&id, wait) {
+        Ok(status) => {
+            let mut response = ok_response("poll", Some(&id));
+            match status {
+                JobStatus::Queued => {
+                    response.insert("state".to_string(), Value::String("queued".to_string()));
+                }
+                JobStatus::Running => {
+                    response.insert("state".to_string(), Value::String("running".to_string()));
+                }
+                JobStatus::Cancelled => {
+                    response
+                        .insert("state".to_string(), Value::String("cancelled".to_string()));
+                }
+                JobStatus::Failed(message) => {
+                    response.insert("state".to_string(), Value::String("failed".to_string()));
+                    response.insert("message".to_string(), Value::String(message));
+                }
+                JobStatus::Done(result) => {
+                    response.insert("state".to_string(), Value::String("done".to_string()));
+                    response.insert(
+                        "model_epoch".to_string(),
+                        match result.model_epoch {
+                            Some(epoch) => Value::from(epoch),
+                            None => Value::Null,
+                        },
+                    );
+                    response.insert(
+                        "model_cache".to_string(),
+                        match result.cache {
+                            Some(crate::cache::CacheOutcome::Hit) => {
+                                Value::String("hit".to_string())
+                            }
+                            Some(crate::cache::CacheOutcome::Miss) => {
+                                Value::String("miss".to_string())
+                            }
+                            None => Value::Null,
+                        },
+                    );
+                    response.insert("report".to_string(), report_to_json(&result.report));
+                }
+            }
+            Ok(Value::Object(response))
+        }
+        // Not a job: a poll against an open session renders its snapshot.
+        Err(ServeError::UnknownId(_)) => match server.session_report(&id) {
+            Ok(report) => {
+                let mut response = ok_response("poll", Some(&id));
+                response.insert("state".to_string(), Value::String("session".to_string()));
+                response.insert("report".to_string(), report_to_json(&report));
+                Ok(Value::Object(response))
+            }
+            Err(e) => Err(serve_error_response(e)),
+        },
+        Err(e) => Err(serve_error_response(e)),
+    }
+}
+
+fn handle_feed(server: &Server, map: &Map) -> Result<Value, Value> {
+    check_keys(map, &["op", "id", "points"])?;
+    let id = required_id(map)?;
+    let points = points_from_json(
+        map.get("points")
+            .ok_or_else(|| error_response("protocol", "missing field points"))?,
+        "points",
+    )
+    .map_err(|e| error_response("protocol", e.to_string()))?;
+    let summary = server
+        .feed(&id, &points)
+        .map_err(serve_error_response)?;
+    let mut response = ok_response("feed", Some(&id));
+    response.insert("points".to_string(), Value::from(summary.points));
+    response.insert("outliers".to_string(), Value::from(summary.outliers));
+    response.insert("total_points".to_string(), Value::from(summary.total_points));
+    response.insert(
+        "total_outliers".to_string(),
+        Value::from(summary.total_outliers),
+    );
+    Ok(Value::Object(response))
+}
+
+fn handle_close(server: &Server, map: &Map) -> Result<Value, Value> {
+    check_keys(map, &["op", "id"])?;
+    let id = required_id(map)?;
+    let closed = server.close(&id).map_err(serve_error_response)?;
+    let mut response = ok_response("close", Some(&id));
+    response.insert(
+        "closed".to_string(),
+        Value::String(
+            match closed {
+                Closed::Job => "job",
+                Closed::Session => "session",
+            }
+            .to_string(),
+        ),
+    );
+    Ok(Value::Object(response))
+}
+
+fn handle_retrain(server: &Server, map: &Map) -> Result<Value, Value> {
+    check_keys(map, &["op", "id"])?;
+    let id = required_id(map)?;
+    server.retrain(&id).map_err(serve_error_response)?;
+    Ok(Value::Object(ok_response("retrain", Some(&id))))
+}
+
+fn handle_stats(server: &Server, map: &Map) -> Result<Value, Value> {
+    check_keys(map, &["op"])?;
+    let registry = server.stats();
+    let mut counters = Map::new();
+    for (name, value) in registry.counter_entries() {
+        counters.insert(name, Value::from(value));
+    }
+    let mut gauges = Map::new();
+    for (name, value) in registry.gauge_entries() {
+        gauges.insert(name, Value::from(value));
+    }
+    let mut response = ok_response("stats", None);
+    response.insert("counters".to_string(), Value::Object(counters));
+    response.insert("gauges".to_string(), Value::Object(gauges));
+    response.insert("uptime_ns".to_string(), Value::from(server.uptime_ns()));
+    Ok(Value::Object(response))
+}
+
+/// The listener loop: serve requests line-by-line until EOF. Empty lines
+/// are ignored; every non-empty line gets exactly one response line,
+/// flushed immediately so a piped client can interleave requests and
+/// responses.
+pub fn serve_loop<R: BufRead, W: Write>(
+    server: &Server,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{}", handle_line(server, &line))?;
+        writer.flush()?;
+    }
+    Ok(())
+}

@@ -35,6 +35,13 @@
 //!   same `Mergeable` algebra the engines use, per-stage query traces
 //!   attached to reports when `ObsConfig` is enabled (off by default), and
 //!   a JSON-lines exporter behind the reproduction binaries' `--trace`.
+//! * [`serve`] — the resident multi-query server: bounded priority
+//!   admission over the shared pool, an epoch-versioned shared model cache
+//!   (train once, score for every subscriber; retrains publish new epochs
+//!   without stalling readers), streaming-session lifecycle with idle
+//!   expiry, and a JSON-lines wire protocol over stdin/stdout (the
+//!   `mb_serve` binary). Reports served concurrently are byte-identical to
+//!   standalone runs.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +82,7 @@ pub use mb_fpgrowth as fpgrowth;
 pub use mb_ingest as ingest;
 pub use mb_pool as pool;
 pub use mb_scenario as scenario;
+pub use mb_serve as serve;
 pub use mb_sketch as sketch;
 pub use mb_stats as stats;
 pub use mb_transform as transform;

@@ -982,8 +982,7 @@ pub(crate) fn merge_rendered_explanations(
     merged.sort_by(|a, b| {
         b.stats
             .risk_ratio
-            .partial_cmp(&a.stats.risk_ratio)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.stats.risk_ratio)
     });
     merged
 }

@@ -18,11 +18,10 @@ use mb_explain::encoder::AttributeEncoder;
 use mb_explain::risk_ratio::rank_explanations;
 use mb_explain::streaming::{StreamingExplainer, StreamingExplainerConfig};
 use mb_explain::ExplanationConfig;
-use mb_obs::{stage, MetricRegistry, QueryTrace, StageTrace};
+use mb_obs::{stage, MetricRegistry, QueryTrace, StageTimer, StageTrace};
 use mb_stats::mad::MadEstimator;
 use mb_stats::mcd::McdEstimator;
 use mb_stats::zscore::ZScoreEstimator;
-use std::time::Instant;
 
 /// Dispatch between the concrete streaming classifiers, chosen from the
 /// configured estimator resolved against the first observed point's
@@ -161,7 +160,7 @@ impl StreamingEngine {
             }
             _ => {}
         }
-        let tick_start = self.obs_enabled.then(Instant::now);
+        let tick_start = StageTimer::start_if(self.obs_enabled);
         self.points_seen += 1;
         self.points_since_decay += 1;
 
@@ -184,12 +183,16 @@ impl StreamingEngine {
                     EstimatorKind::Auto => unreachable!("resolve() eliminates Auto"),
                 });
             }
-            label = match self.model.as_mut().expect("model initialized above") {
-                StreamingModel::Mad(c) => c.observe(&point.metrics),
-                StreamingModel::Mcd(c) => c.observe(&point.metrics),
-                StreamingModel::ZScore(c) => c.observe(&point.metrics),
+            // The branch above guarantees a model; the `if let` (rather than
+            // an `expect`) keeps this executor hot path panic-free.
+            if let Some(model) = self.model.as_mut() {
+                label = match model {
+                    StreamingModel::Mad(c) => c.observe(&point.metrics),
+                    StreamingModel::Mcd(c) => c.observe(&point.metrics),
+                    StreamingModel::ZScore(c) => c.observe(&point.metrics),
+                }
+                .label;
             }
-            .label;
         }
         if let Some(rule) = &self.rule {
             label = label_or(label, rule.classify(&point.metrics));
@@ -212,8 +215,8 @@ impl StreamingEngine {
             self.points_since_decay = 0;
             self.on_period_boundary();
         }
-        if let Some(start) = tick_start {
-            let tick_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if tick_start.is_running() {
+            let tick_ns = tick_start.elapsed_ns();
             self.observe_wall_ns = self.observe_wall_ns.saturating_add(tick_ns);
             // The classifier resets its staleness counter inside a retrain,
             // so a tick that ends at staleness 0 is the tick that paid for
@@ -226,7 +229,7 @@ impl StreamingEngine {
     }
 
     pub(crate) fn on_period_boundary(&mut self) {
-        let decay_start = self.obs_enabled.then(Instant::now);
+        let decay_start = StageTimer::start_if(self.obs_enabled);
         if let Some(model) = self.model.as_mut() {
             match model {
                 StreamingModel::Mad(c) => c.on_period_boundary(),
@@ -237,8 +240,8 @@ impl StreamingEngine {
         if !self.skip_explanation {
             self.explainer.on_window_boundary();
         }
-        if let Some(start) = decay_start {
-            self.metrics.record("decay_ns", start.elapsed());
+        if decay_start.is_running() {
+            self.metrics.record_ns("decay_ns", decay_start.elapsed_ns());
         }
     }
 

@@ -32,7 +32,7 @@ where
     F: Fn(I) -> O + Sync,
 {
     let work = &work;
-    std::thread::scope(|scope| {
+    std::thread::scope(|scope| { // mb-lint: allow(no-adhoc-threads) -- baseline measures spawn cost
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| scope.spawn(move || work(chunk)))

@@ -31,7 +31,7 @@ fn main() {
             }
         };
         let mut scores = report.scores.clone();
-        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        scores.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| scores[((scores.len() - 1) as f64 * p) as usize];
         let row = (q(0.5), q(0.9), q(0.99), q(0.999), *scores.last().unwrap());
         println!(

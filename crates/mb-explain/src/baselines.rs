@@ -63,7 +63,11 @@ pub fn cube_explain(
                 *inlier_groups.entry(key).or_insert(0.0) += 1.0;
             }
         }
-        for (key, ao) in outlier_groups {
+        // Emit groups in canonical key order so the baseline's output is
+        // deterministic even though the grouping pass hashed.
+        let mut groups: Vec<(Vec<Item>, f64)> = outlier_groups.into_iter().collect(); // mb-lint: allow(hashmap-order-hazard) -- drained to a Vec and sorted by key on the next line
+        groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, ao) in groups {
             if ao < min_outlier_count {
                 continue;
             }
@@ -124,8 +128,11 @@ pub fn decision_tree_explain(
         .iter()
         .map(|t| t.iter().copied().collect())
         .collect();
-    let candidates: HashSet<Item> = outliers.iter().flatten().copied().collect();
-    let candidates: Vec<Item> = candidates.into_iter().collect();
+    let candidate_set: HashSet<Item> = outliers.iter().flatten().copied().collect();
+    let mut candidates: Vec<Item> = candidate_set.into_iter().collect(); // mb-lint: allow(hashmap-order-hazard) -- deduplicated set is sorted on the next line
+    // Sorted candidate order makes gain-tie splits (and thus the whole
+    // tree) deterministic.
+    candidates.sort_unstable();
 
     let tree = build_tree(
         &outlier_sets.iter().collect::<Vec<_>>(),

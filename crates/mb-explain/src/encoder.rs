@@ -317,7 +317,7 @@ where
         }
     }
     let mut ordered: Vec<(&AttributeValue, usize)> =
-        first_seen.iter().map(|(&key, &row)| (key, row)).collect();
+        first_seen.iter().map(|(&key, &row)| (key, row)).collect(); // mb-lint: allow(hashmap-order-hazard) -- sorted by (first row, column) on the next line, a unique key
     ordered.sort_by_key(|&(key, row)| (row, key.column));
     for (key, _) in &ordered {
         encoder.encode(key.column, &key.value);

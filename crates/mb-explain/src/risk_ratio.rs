@@ -142,13 +142,11 @@ pub fn rank_explanations(explanations: &mut [Explanation]) {
     explanations.sort_by(|a, b| {
         b.stats
             .risk_ratio
-            .partial_cmp(&a.stats.risk_ratio)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.stats.risk_ratio)
             .then_with(|| {
                 b.stats
                     .outlier_support
-                    .partial_cmp(&a.stats.outlier_support)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&a.stats.outlier_support)
             })
             .then_with(|| a.items.cmp(&b.items))
     });

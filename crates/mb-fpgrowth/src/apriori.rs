@@ -41,7 +41,7 @@ pub fn apriori(
         }
     }
     let mut frequent: Vec<Vec<Item>> = counts
-        .iter()
+        .iter() // mb-lint: allow(hashmap-order-hazard) -- surviving keys are sorted before use, three lines down
         .filter(|(_, &c)| c >= min_support)
         .map(|(items, _)| items.clone())
         .collect();
@@ -88,6 +88,7 @@ pub fn apriori(
                 continue;
             }
             let t_set: HashSet<Item> = t.iter().copied().collect();
+            // mb-lint: allow(hashmap-order-hazard) -- order-insensitive fold: each candidate's count accumulates independently
             for candidate in &candidates {
                 if candidate.iter().all(|item| t_set.contains(item)) {
                     *level_counts.entry(candidate.clone()).or_insert(0.0) += 1.0;
@@ -95,7 +96,7 @@ pub fn apriori(
             }
         }
         frequent = level_counts
-            .iter()
+            .iter() // mb-lint: allow(hashmap-order-hazard) -- surviving keys are sorted before use, three lines down
             .filter(|(_, &c)| c >= min_support)
             .map(|(items, _)| items.clone())
             .collect();

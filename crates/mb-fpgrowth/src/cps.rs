@@ -102,9 +102,7 @@ impl StreamingPrefixTree {
         unique.sort_by(|a, b| {
             let ca = self.item_counts.get(a).copied().unwrap_or(0.0);
             let cb = self.item_counts.get(b).copied().unwrap_or(0.0);
-            cb.partial_cmp(&ca)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.cmp(b))
+            cb.total_cmp(&ca).then_with(|| a.cmp(b))
         });
         let mut current = ROOT;
         for &item in &unique {
@@ -148,6 +146,7 @@ impl StreamingPrefixTree {
         for node in self.nodes.iter_mut().skip(1) {
             node.count *= factor;
         }
+        // mb-lint: allow(hashmap-order-hazard) -- order-insensitive scaling: each count shrinks independently
         for count in self.item_counts.values_mut() {
             *count *= factor;
         }
@@ -239,9 +238,7 @@ impl StreamingPrefixTree {
         unique.sort_by(|a, b| {
             let ca = order.get(a).copied().unwrap_or(0.0);
             let cb = order.get(b).copied().unwrap_or(0.0);
-            cb.partial_cmp(&ca)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.cmp(b))
+            cb.total_cmp(&ca).then_with(|| a.cmp(b))
         });
         let mut current = ROOT;
         for &item in &unique {
@@ -266,6 +263,7 @@ impl Mergeable for StreamingPrefixTree {
     /// streams; total weight (including fully-pruned transactions) adds.
     fn merge(&mut self, other: Self) {
         let other_weight = other.total_weight;
+        // mb-lint: allow(hashmap-order-hazard) -- order-insensitive fold: each item's count accumulates independently
         for (item, count) in &other.item_counts {
             *self.item_counts.entry(*item).or_insert(0.0) += count;
         }

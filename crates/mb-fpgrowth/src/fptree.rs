@@ -122,9 +122,7 @@ impl FpTree {
         filtered.sort_by(|a, b| {
             let ca = self.item_counts.get(a).copied().unwrap_or(0.0);
             let cb = self.item_counts.get(b).copied().unwrap_or(0.0);
-            cb.partial_cmp(&ca)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.cmp(b))
+            cb.total_cmp(&ca).then_with(|| a.cmp(b))
         });
         filtered
     }
@@ -243,15 +241,13 @@ impl FpTree {
         // Items in this (conditional) tree, with totals.
         let mut items: Vec<(Item, f64)> = self
             .header
-            .keys()
+            .keys() // mb-lint: allow(hashmap-order-hazard) -- collected keys are sorted canonically just below
             .map(|&item| (item, self.item_total(item)))
             .filter(|&(_, total)| total >= min_support && bound(total))
             .collect();
         // Process in ascending frequency order (classic FPGrowth recursion order).
         items.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
+            a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0))
         });
         for (item, total) in items {
             let mut itemset = suffix.clone();
@@ -320,6 +316,7 @@ impl Mergeable for FpTree {
         let mut transactions = self.to_weighted_transactions();
         transactions.extend(other.to_weighted_transactions());
         let mut counts = std::mem::take(&mut self.item_counts);
+        // mb-lint: allow(hashmap-order-hazard) -- order-insensitive fold: each item's count accumulates independently
         for (item, count) in &other.item_counts {
             *counts.entry(*item).or_insert(0.0) += count;
         }

@@ -70,8 +70,7 @@ impl FrequentItemset {
 pub fn sort_canonical(itemsets: &mut [FrequentItemset]) {
     itemsets.sort_by(|a, b| {
         b.support
-            .partial_cmp(&a.support)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.support)
             .then_with(|| a.items.cmp(&b.items))
     });
 }

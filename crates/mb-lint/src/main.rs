@@ -1,0 +1,69 @@
+//! `mb_lint` — walk the workspace and enforce the determinism contracts.
+//!
+//! ```text
+//! mb_lint [--root <path>] [--json]
+//! ```
+//!
+//! Prints one `file:line: rule-id: message` diagnostic per violation (or one
+//! JSON object per line with `--json`) and exits 1 when anything fires, so
+//! the CI lints job fails the build. Exit 2 is a usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("mb-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mb_lint [--root <path>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mb-lint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match mb_lint::lint_workspace(&root) {
+        Ok((checked, diags)) => {
+            for d in &diags {
+                if json {
+                    println!("{}", d.render_json());
+                } else {
+                    println!("{}", d.render());
+                }
+            }
+            if diags.is_empty() {
+                if !json {
+                    println!("mb-lint: {checked} files clean");
+                }
+                ExitCode::SUCCESS
+            } else {
+                if !json {
+                    eprintln!(
+                        "mb-lint: {} violation(s) in {} checked file(s)",
+                        diags.len(),
+                        checked
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mb-lint: failed to walk {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,8 @@
+// Seeded float-total-order violation; the raw string above it is a
+// false-positive trap the lexer must skip.
+fn trap() -> &'static str {
+    r#"xs.sort_by(|a, b| a.partial_cmp(b).unwrap());"#
+}
+fn bad(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

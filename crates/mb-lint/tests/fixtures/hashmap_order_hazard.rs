@@ -1,0 +1,8 @@
+// Seeded hashmap-order-hazard violation; the raw string is a trap.
+use std::collections::HashMap;
+fn trap() -> &'static str {
+    r#"for (k, v) in counts.iter() { emit(k, v); }"#
+}
+fn bad(counts: &HashMap<u32, f64>) -> Vec<f64> {
+    counts.values().copied().collect()
+}

@@ -1,0 +1,9 @@
+// Seeded invalid-pragma: the suppression lacks a reason, so BOTH the
+// underlying violation and the bad pragma must surface. The raw string is
+// a trap.
+fn trap() -> &'static str {
+    r#"// mb-lint: allow(float-total-order) --"#
+}
+fn bad(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // mb-lint: allow(float-total-order) --
+}

@@ -1,0 +1,7 @@
+// Seeded no-adhoc-clock violation; the raw string is a trap.
+fn trap() -> &'static str {
+    r#"let t = std::time::Instant::now();"#
+}
+fn bad() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+// Seeded no-adhoc-threads violation; the raw string is a trap.
+fn trap() -> &'static str {
+    r#"std::thread::spawn(|| {});"#
+}
+fn bad() {
+    std::thread::spawn(|| {}).join().ok();
+}

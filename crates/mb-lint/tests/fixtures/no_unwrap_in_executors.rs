@@ -1,0 +1,7 @@
+// Seeded no-unwrap-in-executors violation; the raw string is a trap.
+fn trap() -> &'static str {
+    r#"let v = maybe.unwrap();"#
+}
+fn bad(maybe: Option<u32>) -> u32 {
+    maybe.unwrap()
+}

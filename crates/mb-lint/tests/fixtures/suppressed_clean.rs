@@ -1,0 +1,5 @@
+// A justified suppression: the pragma names the rule and carries a
+// non-empty reason, so this file must lint clean.
+fn fine(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // mb-lint: allow(float-total-order) -- fixture demonstrating a justified suppression
+}

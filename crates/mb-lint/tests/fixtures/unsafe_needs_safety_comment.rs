@@ -1,0 +1,11 @@
+// Seeded unsafe-needs-safety-comment violation; the raw string is a trap.
+fn trap() -> &'static str {
+    r#"unsafe { std::hint::unreachable_unchecked() }"#
+}
+fn bad(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+fn fine(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid and aligned for a u8 read.
+    unsafe { *p }
+}

@@ -1,0 +1,80 @@
+//! Property test for the lexer's literal/comment skipping: violating text
+//! embedded inside string literals, raw strings, line comments, or block
+//! comments must NEVER produce a diagnostic, no matter how the snippets are
+//! combined. Each case assembles a random function body from randomly
+//! chosen violation snippets, each wrapped in a randomly chosen inert
+//! embedding.
+
+use mb_lint::lint_source;
+use proptest::prelude::*;
+
+/// Texts that each fire at least one rule when they appear as code in
+/// `crates/core/src/executor.rs` (a path where every rule is active). The
+/// reasonless-pragma text is deliberately absent: a pragma in a *comment*
+/// is a real pragma, not an embedding — pragma-in-string inertness is
+/// covered by the pragma module's unit tests.
+const VIOLATIONS: &[&str] = &[
+    "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());",
+    "std::thread::spawn(|| {});",
+    "let t = std::time::Instant::now();",
+    "unsafe { *p }",
+    "let v: Vec<f64> = counts.values().copied().collect();",
+    "maybe.unwrap();",
+];
+
+/// Inert wrappers: each embeds the snippet where only the lexer's
+/// literal/comment handling keeps it out of the token stream the rules see.
+fn embed(kind: usize, snippet: &str) -> String {
+    // Quote/hash-bearing snippets can't nest inside every literal form;
+    // strip the characters the wrapper can't carry.
+    let clean: String = snippet.replace(['"', '#'], " ");
+    match kind % 4 {
+        0 => format!("    let _s = \"{clean}\";\n"),
+        1 => format!("    let _r = r#\"{clean}\"#;\n"),
+        2 => format!("    // {snippet}\n"),
+        _ => format!("    /* {clean} */\n"),
+    }
+}
+
+/// A signature that puts every receiver the snippets need in scope — and,
+/// crucially, ascribes `counts` a `HashMap` type so the hashmap rule WOULD
+/// fire on un-embedded code.
+const HEADER: &str =
+    "fn f(p: *const u8, maybe: Option<u32>, counts: &std::collections::HashMap<u32, f64>, xs: &mut [f64]) {\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    #[test]
+    fn embedded_violations_never_fire(
+        picks in prop::collection::vec(0usize..1000, 1..12),
+    ) {
+        let mut src = String::from(HEADER);
+        for (i, &p) in picks.iter().enumerate() {
+            let snippet = VIOLATIONS[p % VIOLATIONS.len()];
+            src.push_str(&embed(p / VIOLATIONS.len() + i, snippet));
+        }
+        src.push_str("}\n");
+        // Lint under the hot-path file so every rule is live.
+        let diags = lint_source("crates/core/src/executor.rs", &src);
+        prop_assert!(
+            diags.is_empty(),
+            "embedded-only source produced diagnostics: {:?}\nsource:\n{}",
+            diags.iter().map(|d| d.render()).collect::<Vec<_>>(),
+            src
+        );
+    }
+}
+
+/// The same snippets as real code DO fire — guarding against the proptest
+/// above passing because the rules are dead.
+#[test]
+fn unembedded_violations_do_fire() {
+    for snippet in VIOLATIONS {
+        let src = format!("{HEADER}    {snippet}\n}}\n");
+        let diags = lint_source("crates/core/src/executor.rs", &src);
+        assert!(
+            !diags.is_empty(),
+            "snippet produced no diagnostic as code: {snippet}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The workspace must lint clean against its own analyzer: every violation
+//! is either fixed or carries a justified suppression. This is the same
+//! check CI runs via the `mb_lint` binary; running it as a test keeps
+//! `cargo test` sufficient to catch a regression locally.
+
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (checked, diags) = mb_lint::lint_workspace(&root).expect("walk workspace");
+    assert!(
+        checked > 100,
+        "suspiciously few files checked ({checked}); did the walker break?"
+    );
+    assert!(
+        diags.is_empty(),
+        "workspace has unjustified violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -82,6 +82,22 @@ impl QueryTrace {
 pub struct StageTimer(Option<Instant>);
 
 impl StageTimer {
+    /// Start a standalone timer when `enabled`, a disabled (`None`) timer
+    /// otherwise. This is the sanctioned clock read for engine code that
+    /// times work outside a [`TraceBuilder`] stage (e.g. per-tick costs fed
+    /// straight into a [`MetricRegistry`] histogram): the `mb-lint`
+    /// `no-adhoc-clock` rule confines raw `Instant::now` to the
+    /// observability and benchmark layers, and this constructor keeps the
+    /// disabled path clock-free just like [`TraceBuilder::start`].
+    pub fn start_if(enabled: bool) -> Self {
+        StageTimer(if enabled { Some(Instant::now()) } else { None })
+    }
+
+    /// Whether this timer holds a live clock (false for disabled timers).
+    pub fn is_running(&self) -> bool {
+        self.0.is_some()
+    }
+
     /// Nanoseconds since the timer started (0 when disabled).
     pub fn elapsed_ns(&self) -> u64 {
         self.0

@@ -117,6 +117,7 @@ impl Scheduler {
         let handles = (0..workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                // mb-lint: allow(no-adhoc-threads) -- resident scheduler workers park on a condvar; mb-pool tasks must never block
                 std::thread::Builder::new()
                     .name(format!("mb-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))

@@ -16,8 +16,19 @@ use macrobase_core::streaming::StreamingSession;
 use macrobase_core::types::{MdpReport, Point};
 use mb_obs::MetricRegistry;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Acquire a mutex, recovering from poisoning instead of panicking. A
+/// poisoned lock means some other thread panicked mid-update; the server's
+/// shared maps (jobs, sessions, registry) are valid after every individual
+/// insert/remove, so continuing with the inner guard is safe — and a
+/// resident server must never let one query's panic cascade into a
+/// process-wide one. Behaves identically to `.lock().expect(..)` when the
+/// lock is healthy.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -162,14 +173,11 @@ struct Inner {
 
 impl Inner {
     fn count(&self, name: &str) {
-        self.registry.lock().expect("registry poisoned").add(name, 1);
+        lock(&self.registry).add(name, 1);
     }
 
     fn record_ns(&self, name: &str, ns: u64) {
-        self.registry
-            .lock()
-            .expect("registry poisoned")
-            .record_ns(name, ns);
+        lock(&self.registry).record_ns(name, ns);
     }
 }
 
@@ -209,13 +217,13 @@ impl Server {
         priority: Priority,
     ) -> Result<(), ServeError> {
         {
-            let sessions = self.inner.sessions.lock().expect("sessions poisoned");
+            let sessions = lock(&self.inner.sessions);
             if sessions.contains_key(id) {
                 return Err(ServeError::DuplicateId(id.to_string()));
             }
         }
         {
-            let mut jobs = self.inner.jobs.lock().expect("jobs poisoned");
+            let mut jobs = lock(&self.inner.jobs);
             if jobs.contains_key(id) {
                 return Err(ServeError::DuplicateId(id.to_string()));
             }
@@ -233,7 +241,7 @@ impl Server {
         let job_id = id.to_string();
         let work = Box::new(move || run_job(&inner, &job_id, spec, points));
         if let Err(saturated) = self.scheduler.submit(id, priority, work) {
-            let mut jobs = self.inner.jobs.lock().expect("jobs poisoned");
+            let mut jobs = lock(&self.inner.jobs);
             jobs.remove(id);
             self.inner.count("jobs_rejected");
             return Err(ServeError::Saturated(saturated));
@@ -246,7 +254,7 @@ impl Server {
     /// terminal state (done / failed / cancelled) or `wait` elapses.
     pub fn poll(&self, id: &str, wait: Option<Duration>) -> Result<JobStatus, ServeError> {
         let deadline = wait.map(|w| Instant::now() + w);
-        let mut jobs = self.inner.jobs.lock().expect("jobs poisoned");
+        let mut jobs = lock(&self.inner.jobs);
         loop {
             let status = match jobs.get(id) {
                 Some(entry) => entry.status.clone(),
@@ -270,7 +278,7 @@ impl Server {
                 .inner
                 .jobs_cond
                 .wait_timeout(jobs, deadline - now)
-                .expect("jobs poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             jobs = guard;
         }
     }
@@ -283,14 +291,14 @@ impl Server {
     /// * session — closed and dropped.
     pub fn close(&self, id: &str) -> Result<Closed, ServeError> {
         {
-            let mut sessions = self.inner.sessions.lock().expect("sessions poisoned");
+            let mut sessions = lock(&self.inner.sessions);
             if sessions.remove(id).is_some() {
                 drop(sessions);
                 self.inner.count("sessions_closed");
                 return Ok(Closed::Session);
             }
         }
-        let mut jobs = self.inner.jobs.lock().expect("jobs poisoned");
+        let mut jobs = lock(&self.inner.jobs);
         let entry = jobs
             .get_mut(id)
             .ok_or_else(|| ServeError::UnknownId(id.to_string()))?;
@@ -324,7 +332,7 @@ impl Server {
     /// snapshot they hold.
     pub fn retrain(&self, id: &str) -> Result<(), ServeError> {
         let source = {
-            let jobs = self.inner.jobs.lock().expect("jobs poisoned");
+            let jobs = lock(&self.inner.jobs);
             let entry = jobs
                 .get(id)
                 .ok_or_else(|| ServeError::UnknownId(id.to_string()))?;
@@ -355,7 +363,7 @@ impl Server {
     /// if any. Test/diagnostic surface for epoch semantics.
     pub fn model_snapshot(&self, id: &str) -> Option<Arc<ModelSnapshot>> {
         let fingerprint = {
-            let jobs = self.inner.jobs.lock().expect("jobs poisoned");
+            let jobs = lock(&self.inner.jobs);
             jobs.get(id)?.retrain_source.as_ref()?.0
         };
         self.inner.cache.peek(fingerprint)
@@ -371,13 +379,13 @@ impl Server {
         };
         self.sweep_idle_sessions();
         {
-            let jobs = self.inner.jobs.lock().expect("jobs poisoned");
+            let jobs = lock(&self.inner.jobs);
             if jobs.contains_key(id) {
                 return Err(ServeError::DuplicateId(id.to_string()));
             }
         }
         let session = build_session(spec.analysis, &options)?;
-        let mut sessions = self.inner.sessions.lock().expect("sessions poisoned");
+        let mut sessions = lock(&self.inner.sessions);
         if sessions.contains_key(id) {
             return Err(ServeError::DuplicateId(id.to_string()));
         }
@@ -396,7 +404,7 @@ impl Server {
     /// Feed a batch of points into an open session. Typed errors leave the
     /// session usable (see [`StreamingSession::feed`]).
     pub fn feed(&self, id: &str, points: &[Point]) -> Result<FeedSummary, ServeError> {
-        let mut sessions = self.inner.sessions.lock().expect("sessions poisoned");
+        let mut sessions = lock(&self.inner.sessions);
         let entry = sessions
             .get_mut(id)
             .ok_or_else(|| ServeError::UnknownId(id.to_string()))?;
@@ -412,7 +420,7 @@ impl Server {
         };
         drop(sessions);
         {
-            let mut registry = self.inner.registry.lock().expect("registry poisoned");
+            let mut registry = lock(&self.inner.registry);
             registry.add("session_points", summary.points);
         }
         match result {
@@ -424,7 +432,7 @@ impl Server {
     /// Render the current report of an open session (a snapshot; the
     /// session keeps accumulating).
     pub fn session_report(&self, id: &str) -> Result<MdpReport, ServeError> {
-        let mut sessions = self.inner.sessions.lock().expect("sessions poisoned");
+        let mut sessions = lock(&self.inner.sessions);
         let entry = sessions
             .get_mut(id)
             .ok_or_else(|| ServeError::UnknownId(id.to_string()))?;
@@ -436,13 +444,13 @@ impl Server {
     /// many were dropped. Runs implicitly when sessions are opened.
     pub fn sweep_idle_sessions(&self) -> usize {
         let idle = self.inner.session_idle;
-        let mut sessions = self.inner.sessions.lock().expect("sessions poisoned");
+        let mut sessions = lock(&self.inner.sessions);
         let before = sessions.len();
         sessions.retain(|_, entry| entry.last_used.elapsed() < idle);
         let expired = before - sessions.len();
         drop(sessions);
         if expired > 0 {
-            let mut registry = self.inner.registry.lock().expect("registry poisoned");
+            let mut registry = lock(&self.inner.registry);
             registry.add("sessions_expired", expired as u64);
         }
         expired
@@ -451,16 +459,11 @@ impl Server {
     /// Snapshot of the serve-level metrics (counters for jobs, cache,
     /// trainings, sessions; gauges for queue depth and open sessions).
     pub fn stats(&self) -> MetricRegistry {
-        let mut registry = self
-            .inner
-            .registry
-            .lock()
-            .expect("registry poisoned")
-            .clone();
+        let mut registry = lock(&self.inner.registry).clone();
         registry.set_gauge("queue_depth", self.scheduler.depth() as f64);
         registry.set_gauge(
             "sessions_open",
-            self.inner.sessions.lock().expect("sessions poisoned").len() as f64,
+            lock(&self.inner.sessions).len() as f64,
         );
         registry
     }
@@ -484,7 +487,7 @@ fn build_session(
 fn run_job(inner: &Inner, id: &str, spec: QuerySpec, points: Vec<Point>) {
     // Claim the job; a close() racing ahead of the worker wins.
     {
-        let mut jobs = inner.jobs.lock().expect("jobs poisoned");
+        let mut jobs = lock(&inner.jobs);
         let Some(entry) = jobs.get_mut(id) else {
             return;
         };
@@ -508,7 +511,7 @@ fn run_job(inner: &Inner, id: &str, spec: QuerySpec, points: Vec<Point>) {
         u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
     );
 
-    let mut jobs = inner.jobs.lock().expect("jobs poisoned");
+    let mut jobs = lock(&inner.jobs);
     let Some(entry) = jobs.get_mut(id) else {
         return;
     };

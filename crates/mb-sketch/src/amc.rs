@@ -101,8 +101,8 @@ impl<T: Eq + Hash + Clone> AmcSketch<T> {
             return;
         }
         // Select the stable_size largest counts; everything else is dropped.
-        let mut entries: Vec<(T, f64)> = self.counts.drain().collect();
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut entries: Vec<(T, f64)> = self.counts.drain().collect(); // mb-lint: allow(hashmap-order-hazard) -- re-sorted below; which equal-count entry survives the prune is within the AMC's εN error model
+        crate::sort_entries_desc(&mut entries);
         let mut max_discarded: f64 = 0.0;
         for (idx, (key, count)) in entries.into_iter().enumerate() {
             if idx < self.stable_size {
@@ -148,6 +148,7 @@ impl<T: Eq + Hash + Clone> Mergeable for AmcSketch<T> {
         );
         let combined_discarded = self.discarded_weight + other.discarded_weight;
         self.total_weight += other.total_weight;
+        // mb-lint: allow(hashmap-order-hazard) -- order-insensitive fold: each item's count accumulates independently
         for (item, count) in other.counts {
             *self.counts.entry(item).or_insert(0.0) += count;
         }
@@ -182,6 +183,7 @@ impl<T: Eq + Hash + Clone> HeavyHitterSketch<T> for AmcSketch<T> {
             (0.0..=1.0).contains(&factor),
             "decay factor must be in [0, 1]"
         );
+        // mb-lint: allow(hashmap-order-hazard) -- order-insensitive scaling: each count shrinks independently
         for count in self.counts.values_mut() {
             *count *= factor;
         }
@@ -193,7 +195,7 @@ impl<T: Eq + Hash + Clone> HeavyHitterSketch<T> for AmcSketch<T> {
 
     fn entries(&self) -> Vec<(T, f64)> {
         self.counts
-            .iter()
+            .iter() // mb-lint: allow(hashmap-order-hazard) -- entries() is unordered by contract; report-bound consumers sort via sort_entries_desc
             .map(|(k, v)| (k.clone(), *v))
             .collect()
     }

@@ -72,6 +72,23 @@ pub trait Mergeable {
     fn merge(&mut self, other: Self);
 }
 
+/// Sort `(item, count)` entries by descending count under a deterministic
+/// total order: counts compare via [`f64::total_cmp`], a NaN count (of either
+/// sign) sorts *after* every real count — an unknown weight must never outrank
+/// a real heavy hitter — and the sort is stable, so equal counts keep their
+/// input order (callers that append deterministically get an index tie-break
+/// for free). This replaces the NaN-unsound
+/// `partial_cmp(..).unwrap_or(Equal)` comparators, whose inconsistency could
+/// scramble (or panic) the sort the moment a NaN slipped in.
+pub fn sort_entries_desc<T>(entries: &mut [(T, f64)]) {
+    entries.sort_by(|a, b| match (a.1.is_nan(), b.1.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.1.total_cmp(&a.1),
+    });
+}
+
 /// Draw a `capacity`-bounded sample from the union of two reservoir samples,
 /// where each source's representation is proportional to the stream weight
 /// its reservoir summarizes. Each draw picks a side with probability
@@ -190,7 +207,7 @@ pub trait HeavyHitterSketch<T: Eq + Hash + Clone> {
             .into_iter()
             .filter(|(_, c)| *c >= threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        crate::sort_entries_desc(&mut out);
         out
     }
 
@@ -206,6 +223,43 @@ pub trait HeavyHitterSketch<T: Eq + Hash + Clone> {
 mod tests {
     use super::*;
     use crate::amc::AmcSketch;
+
+    /// Regression for the NaN-unsound `partial_cmp(..).unwrap_or(Equal)`
+    /// comparators: a NaN-weighted entry must sort *last* (never outranking a
+    /// real count) and equal counts must keep their input order, independent
+    /// of sort-implementation details.
+    #[test]
+    fn sort_entries_desc_is_nan_sound_and_stable() {
+        let mut entries = vec![
+            ("tie-first", 2.0),
+            ("nan", f64::NAN),
+            ("big", 9.0),
+            ("tie-second", 2.0),
+            ("neg-nan", -f64::NAN),
+            ("small", 1.0),
+        ];
+        sort_entries_desc(&mut entries);
+        let order: Vec<&str> = entries.iter().map(|e| e.0).collect();
+        // Both NaN payloads land at the back; the 2.0 tie keeps input order
+        // (index tie-break via stability).
+        assert_eq!(
+            order,
+            vec!["big", "tie-first", "tie-second", "small", "nan", "neg-nan"]
+        );
+        // The comparator is a total order even across NaN: sorting the
+        // reversed input yields the same ranking of real counts with NaNs
+        // still last.
+        let mut reversed = vec![
+            ("small", 1.0),
+            ("neg-nan", -f64::NAN),
+            ("big", 9.0),
+            ("nan", f64::NAN),
+        ];
+        sort_entries_desc(&mut reversed);
+        let order: Vec<&str> = reversed.iter().map(|e| e.0).collect();
+        assert_eq!(order[..2], ["big", "small"]);
+        assert!(reversed[2].1.is_nan() && reversed[3].1.is_nan());
+    }
 
     #[test]
     fn items_above_sorts_descending() {

@@ -46,7 +46,7 @@ fn merge_entries<T: Eq + Hash + Clone>(
             (item, count)
         })
         .collect();
-    entries.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+    crate::sort_entries_desc(&mut entries);
     entries.truncate(capacity);
     entries
 }
@@ -207,8 +207,8 @@ impl<T: Eq + Hash + Clone> Mergeable for SpaceSavingHash<T> {
             "cannot merge SpaceSaving sketches of different capacities"
         );
         self.total_weight += other.total_weight;
-        let a: Vec<(T, f64)> = self.counts.drain().collect();
-        let b: Vec<(T, f64)> = other.counts.into_iter().collect();
+        let a: Vec<(T, f64)> = self.counts.drain().collect(); // mb-lint: allow(hashmap-order-hazard) -- merge_entries re-sorts; which equal-count entry survives truncation is within the εN bound
+        let b: Vec<(T, f64)> = other.counts.into_iter().collect(); // mb-lint: allow(hashmap-order-hazard) -- merge_entries re-sorts; which equal-count entry survives truncation is within the εN bound
         self.counts = merge_entries(a, b, self.capacity).into_iter().collect();
     }
 }
@@ -228,8 +228,8 @@ impl<T: Eq + Hash + Clone> HeavyHitterSketch<T> for SpaceSavingHash<T> {
         // Evict the current minimum; newcomer inherits its count.
         let (min_item, min_count) = self
             .counts
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .iter() // mb-lint: allow(hashmap-order-hazard) -- any minimal-count victim satisfies the SpaceSaving bound; SSH is a Figure 6 timing baseline
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(k, v)| (k.clone(), *v))
             .expect("sketch is non-empty at capacity");
         self.counts.remove(&min_item);
@@ -245,6 +245,7 @@ impl<T: Eq + Hash + Clone> HeavyHitterSketch<T> for SpaceSavingHash<T> {
             (0.0..=1.0).contains(&factor),
             "decay factor must be in [0, 1]"
         );
+        // mb-lint: allow(hashmap-order-hazard) -- order-insensitive scaling: each count shrinks independently
         for count in self.counts.values_mut() {
             *count *= factor;
         }
@@ -252,7 +253,7 @@ impl<T: Eq + Hash + Clone> HeavyHitterSketch<T> for SpaceSavingHash<T> {
     }
 
     fn entries(&self) -> Vec<(T, f64)> {
-        self.counts.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.counts.iter().map(|(k, v)| (k.clone(), *v)).collect() // mb-lint: allow(hashmap-order-hazard) -- entries() is unordered by contract; report-bound consumers sort via sort_entries_desc
     }
 
     fn total_weight(&self) -> f64 {
@@ -332,7 +333,7 @@ mod tests {
         // estimates at least their true count (SpaceSaving never
         // under-estimates a tracked item).
         let mut by_count: Vec<(usize, f64)> = exact.iter().map(|(k, v)| (*k, *v)).collect();
-        by_count.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        by_count.sort_by(|a, b| b.1.total_cmp(&a.1));
         for &(item, true_count) in by_count.iter().take(10) {
             assert!(list.estimate(&item) + 1e-9 >= true_count);
             assert!(hash.estimate(&item) + 1e-9 >= true_count);
@@ -436,7 +437,7 @@ mod tests {
         assert!(hash_l.tracked_items() <= capacity);
         // Top-10 exact heavy hitters survive the merge in both variants.
         let mut by_count: Vec<(usize, f64)> = exact.iter().map(|(k, v)| (*k, *v)).collect();
-        by_count.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        by_count.sort_by(|a, b| b.1.total_cmp(&a.1));
         for &(item, _) in by_count.iter().take(10) {
             assert!(list_l.estimate(&item) > 0.0);
             assert!(hash_l.estimate(&item) > 0.0);

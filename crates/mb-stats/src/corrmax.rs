@@ -74,11 +74,7 @@ pub fn mahalanobis_contributions(
             },
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.contribution
-            .partial_cmp(&a.contribution)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    out.sort_by(|a, b| b.contribution.total_cmp(&a.contribution));
     Ok(out)
 }
 

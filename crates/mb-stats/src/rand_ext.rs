@@ -80,7 +80,7 @@ impl Zipf {
         let u: f64 = rng.gen_f64();
         match self
             .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+            .binary_search_by(|probe| probe.total_cmp(&u))
         {
             Ok(idx) => idx,
             Err(idx) => idx.min(self.cdf.len() - 1),

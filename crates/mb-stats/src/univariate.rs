@@ -401,7 +401,7 @@ mod tests {
         fn select_matches_sort(mut data in prop::collection::vec(-1e6f64..1e6, 1..200), k_seed in 0usize..1000) {
             let k = k_seed % data.len();
             let mut sorted = data.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(|a, b| a.total_cmp(b));
             let got = select_in_place(&mut data, k);
             prop_assert_eq!(got, sorted[k]);
         }

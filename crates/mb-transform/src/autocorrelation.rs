@@ -66,7 +66,7 @@ pub fn dominant_period(signal: &[f64], max_lag: usize) -> Result<usize> {
     let (best_offset, _) = correlations[search_from..]
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("correlations are non-empty");
     Ok(search_from + best_offset + 1)
 }

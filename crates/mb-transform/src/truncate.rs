@@ -57,11 +57,7 @@ pub fn keep_highest_variance(rows: &[Vec<f64>], k: usize) -> Result<(Vec<Vec<f64
         }
     }
     let mut order: Vec<usize> = (0..dim).collect();
-    order.sort_by(|&a, &b| {
-        variances[b]
-            .partial_cmp(&variances[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| variances[b].total_cmp(&variances[a]));
     let mut selected: Vec<usize> = order.into_iter().take(k).collect();
     selected.sort_unstable();
     let projected = rows

@@ -59,7 +59,7 @@ fn main() {
         .build()
         .expect("query construction failed");
 
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // mb-lint: allow(no-adhoc-clock) -- demo prints wall-clock throughput
     let report = query
         .execute(&Executor::OneShot, &points)
         .expect("query run failed");

@@ -43,7 +43,7 @@ fn run_query(
         .training_sample_size(1_000)
         .build()
         .expect("query construction failed");
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // mb-lint: allow(no-adhoc-clock) -- demo prints wall-clock throughput
     let report = query
         .execute(&Executor::OneShot, &points)
         .expect("query failed");

@@ -106,7 +106,7 @@ fn main() {
         .build()
         .expect("query construction failed");
 
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // mb-lint: allow(no-adhoc-clock) -- demo prints wall-clock throughput
     let report = query
         .execute(&Executor::OneShot, &points)
         .expect("MDP failed");

@@ -3,10 +3,12 @@
 #
 # Dumps every `pub` item declared in the facade (src/lib.rs), in
 # macrobase-core (crates/core/src/*.rs), in mb-scenario
-# (crates/mb-scenario/src/*.rs), in mb-obs (crates/mb-obs/src/*.rs), and
-# in mb-serve (crates/mb-serve/src/*.rs) —
+# (crates/mb-scenario/src/*.rs), in mb-obs (crates/mb-obs/src/*.rs), in
+# mb-serve (crates/mb-serve/src/*.rs), and in mb-lint
+# (crates/mb-lint/src/*.rs) —
 # the crates whose API the MdpQuery/Executor redesign, the accuracy
-# harness, the telemetry layer, and the serving layer own — and diffs the
+# harness, the telemetry layer, the serving layer, and the static-analysis
+# gate own — and diffs the
 # inventory against the
 # blessed snapshot in scripts/public_api.txt. CI runs this so a PR cannot
 # silently add, remove, or rename public surface: an intentional change is
@@ -24,7 +26,7 @@ cd "$(dirname "$0")/.."
 SNAPSHOT=scripts/public_api.txt
 
 dump() {
-  for f in src/lib.rs crates/core/src/*.rs crates/mb-obs/src/*.rs crates/mb-scenario/src/*.rs crates/mb-serve/src/*.rs; do
+  for f in src/lib.rs crates/core/src/*.rs crates/mb-lint/src/*.rs crates/mb-obs/src/*.rs crates/mb-scenario/src/*.rs crates/mb-serve/src/*.rs; do
     awk -v file="$f" '
       function emit(line) {
         sub(/^[ \t]+/, "", line)
